@@ -1,0 +1,146 @@
+package ringmesh
+
+// The benchmark harness regenerates every table and figure of the
+// paper. Each BenchmarkFigNN / BenchmarkTableN runs the corresponding
+// experiment sweep end to end (at a reduced but shape-preserving
+// schedule so `go test -bench=.` stays tractable) and reports the
+// headline numbers via b.Log and custom metrics. For publication-
+// length runs use `go run ./cmd/experiments -all`.
+//
+// Micro-benchmarks at the bottom measure raw simulator throughput
+// (simulated cycles per second) for both network models.
+
+import (
+	"testing"
+
+	"ringmesh/internal/core"
+	"ringmesh/internal/exp"
+)
+
+// benchSpec is the reduced schedule used by the figure benchmarks:
+// the same sweeps as the paper, shorter batches.
+func benchSpec() exp.Spec {
+	return exp.Spec{
+		Seed:    42,
+		Run:     core.RunConfig{WarmupCycles: 400, BatchCycles: 400, Batches: 3},
+		Workers: 4,
+	}
+}
+
+// runExperiment executes one registered experiment b.N times and
+// reports the number of simulation points measured per run.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var points int
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run(benchSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = 0
+		for _, s := range out.Series {
+			points += len(s.Points)
+		}
+		if points == 0 && len(out.Tables) == 0 {
+			b.Fatalf("%s produced no data", id)
+		}
+	}
+	b.ReportMetric(float64(points), "points/op")
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkFig06(b *testing.B)  { runExperiment(b, "fig6") }
+func BenchmarkFig07(b *testing.B)  { runExperiment(b, "fig7") }
+func BenchmarkFig08(b *testing.B)  { runExperiment(b, "fig8") }
+func BenchmarkFig09(b *testing.B)  { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { runExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { runExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { runExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { runExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { runExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { runExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B)  { runExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { runExperiment(b, "fig21") }
+
+func BenchmarkAblateMemLat(b *testing.B)    { runExperiment(b, "ablate-memlat") }
+func BenchmarkAblateDetGap(b *testing.B)    { runExperiment(b, "ablate-detgap") }
+func BenchmarkAblateIRIQ(b *testing.B)      { runExperiment(b, "ablate-iriq") }
+func BenchmarkAblateSwitching(b *testing.B) { runExperiment(b, "ablate-switching") }
+
+// --- simulator micro-benchmarks ----------------------------------------
+
+// benchCycles measures raw simulated-cycle throughput of a system.
+func benchCycles(b *testing.B, build func() (*System, error)) {
+	b.Helper()
+	sys, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the system into steady state before timing.
+	if err := sys.StepCycles(1000); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := sys.StepCycles(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(sys.PMs())*float64(b.N), "PMcycles/op")
+}
+
+func BenchmarkSimRing24(b *testing.B) {
+	benchCycles(b, func() (*System, error) {
+		return NewRingSystem(RingConfig{Topology: "3:8", LineBytes: 32,
+			Workload: PaperWorkload(), Seed: 1})
+	})
+}
+
+func BenchmarkSimRing72(b *testing.B) {
+	benchCycles(b, func() (*System, error) {
+		return NewRingSystem(RingConfig{Topology: "3:3:8", LineBytes: 32,
+			Workload: PaperWorkload(), Seed: 1})
+	})
+}
+
+func BenchmarkSimRing72Slotted(b *testing.B) {
+	benchCycles(b, func() (*System, error) {
+		return NewRingSystem(RingConfig{Topology: "3:3:8", LineBytes: 32,
+			SlottedSwitching: true, Workload: PaperWorkload(), Seed: 1})
+	})
+}
+
+func BenchmarkSimRing72DoubleSpeed(b *testing.B) {
+	benchCycles(b, func() (*System, error) {
+		return NewRingSystem(RingConfig{Topology: "3:3:8", LineBytes: 32,
+			DoubleSpeedGlobal: true, Workload: PaperWorkload(), Seed: 1})
+	})
+}
+
+func BenchmarkSimMesh16(b *testing.B) {
+	benchCycles(b, func() (*System, error) {
+		return NewMeshSystem(MeshConfig{Nodes: 16, LineBytes: 32, BufferFlits: 4,
+			Workload: PaperWorkload(), Seed: 1})
+	})
+}
+
+func BenchmarkSimMesh121(b *testing.B) {
+	benchCycles(b, func() (*System, error) {
+		return NewMeshSystem(MeshConfig{Nodes: 121, LineBytes: 32, BufferFlits: 4,
+			Workload: PaperWorkload(), Seed: 1})
+	})
+}
+
+func BenchmarkSimMesh121OneFlit(b *testing.B) {
+	benchCycles(b, func() (*System, error) {
+		return NewMeshSystem(MeshConfig{Nodes: 121, LineBytes: 128, BufferFlits: 1,
+			Workload: PaperWorkload(), Seed: 1})
+	})
+}

@@ -1,0 +1,136 @@
+// Command ringmesh runs a single interconnect simulation from flags
+// and prints the measured metrics.
+//
+// Examples:
+//
+//	ringmesh -net ring -topo 3:3:8 -line 32
+//	ringmesh -net ring -topo 5:3:4 -line 128 -double-global
+//	ringmesh -net mesh -nodes 64 -line 64 -buf 4 -R 0.3 -T 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ringmesh/internal/core"
+	"ringmesh/internal/mesh"
+	"ringmesh/internal/ring"
+	"ringmesh/internal/topo"
+	"ringmesh/internal/trace"
+	"ringmesh/internal/workload"
+)
+
+func main() {
+	var (
+		netKind = flag.String("net", "ring", "network type: ring or mesh")
+		topoStr = flag.String("topo", "", "ring topology, e.g. 2:3:4 (default: optimal for -nodes)")
+		nodes   = flag.Int("nodes", 16, "number of processors (mesh: must be a square; ring: used when -topo empty)")
+		line    = flag.Int("line", 32, "cache line size in bytes (16/32/64/128)")
+		buf     = flag.Int("buf", 4, "mesh input buffer depth in flits (0 = cache-line sized)")
+		dbl     = flag.Bool("double-global", false, "clock the global ring at 2x (ring only)")
+		rFlag   = flag.Float64("R", 1.0, "access region fraction (locality)")
+		cFlag   = flag.Float64("C", 0.04, "cache miss rate per cycle")
+		tFlag   = flag.Int("T", 4, "outstanding transactions before blocking")
+		readP   = flag.Float64("read-prob", 0.7, "probability a miss is a read")
+		memLat  = flag.Int("mem", 0, "memory service latency in cycles (0 = default)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		warmup  = flag.Int64("warmup", 4000, "warmup cycles (discarded batch)")
+		batch   = flag.Int64("batch", 4000, "cycles per batch")
+		batches = flag.Int("batches", 8, "retained batches")
+		tracePk = flag.Uint64("trace-packet", 0, "print the lifecycle of this packet id (0 = off)")
+	)
+	flag.Parse()
+
+	wl := workload.MMRP{R: *rFlag, C: *cFlag, T: *tFlag, ReadProb: *readP}
+	rc := core.RunConfig{WarmupCycles: *warmup, BatchCycles: *batch, Batches: *batches}
+	var rec *trace.Recorder
+	if *tracePk != 0 {
+		rec = &trace.Recorder{OnlyPacket: *tracePk}
+	}
+
+	var (
+		sys *core.System
+		err error
+	)
+	switch *netKind {
+	case "ring":
+		var spec topo.RingSpec
+		if *topoStr != "" {
+			spec, err = topo.ParseRingSpec(*topoStr)
+		} else {
+			spec, err = core.RingTopologyFor(*nodes, *line)
+		}
+		if err != nil {
+			fail(err)
+		}
+		sys, err = core.NewRingSystem(core.RingSystemConfig{
+			Net:        ring.Config{Spec: spec, LineBytes: *line, DoubleSpeedGlobal: *dbl},
+			Workload:   wl,
+			MemLatency: *memLat,
+			Seed:       *seed,
+			Tracer:     rec,
+		})
+	case "mesh":
+		if !topo.Square(*nodes) {
+			fail(fmt.Errorf("mesh needs a square node count, got %d", *nodes))
+		}
+		sys, err = core.NewMeshSystem(core.MeshSystemConfig{
+			Net:        mesh.Config{Spec: topo.MeshForPMs(*nodes), LineBytes: *line, BufferFlits: *buf},
+			Workload:   wl,
+			MemLatency: *memLat,
+			Seed:       *seed,
+			Tracer:     rec,
+		})
+	default:
+		fail(fmt.Errorf("unknown network %q", *netKind))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	res, err := sys.Run(rc)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("system:       %s (%d PMs)\n", sys.Describe(), sys.PMs())
+	fmt.Printf("workload:     R=%.2f C=%.3f T=%d read-prob=%.2f\n", wl.R, wl.C, wl.T, wl.ReadProb)
+	fmt.Printf("latency:      %.1f cycles (95%% CI ±%.1f, %d observations)\n",
+		res.Latency, res.LatencyCI, res.Observations)
+	fmt.Printf("throughput:   %.3f transactions/cycle (%d issued, %d completed, %d local)\n",
+		res.Throughput, res.Issued, res.Completed, res.Local)
+	if res.RingUtil != nil {
+		fmt.Printf("ring util:    ")
+		for lvl, u := range res.RingUtil {
+			name := fmt.Sprintf("L%d", lvl)
+			if lvl == 0 {
+				name = "global"
+			}
+			if lvl == len(res.RingUtil)-1 && lvl > 0 {
+				name = "local"
+			}
+			fmt.Printf("%s=%.1f%% ", name, 100*u)
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("mesh util:    %.1f%%\n", 100*res.MeshUtil)
+	}
+	if res.Saturated {
+		fmt.Println("note:         network past saturation (processors mostly blocked)")
+	}
+	if res.Stalled {
+		fmt.Println("note:         watchdog tripped (no forward progress)")
+		os.Exit(1)
+	}
+	if rec != nil {
+		fmt.Printf("\ntrace of packet #%d:\n", *tracePk)
+		if err := rec.Write(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ringmesh:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Command topofind searches for the best hierarchical ring topology
+// for a given processor count and cache line size — the procedure
+// behind the paper's Table 2 — either analytically (depth + average
+// hop distance, instant) or by scoring every admissible hierarchy
+// with a simulation run.
+//
+// Examples:
+//
+//	topofind -nodes 72 -line 32
+//	topofind -nodes 72 -line 32 -simulate
+//	topofind -nodes 108 -line 128 -max-branch 3 -simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ringmesh/internal/core"
+	"ringmesh/internal/ring"
+	"ringmesh/internal/topo"
+	"ringmesh/internal/workload"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 24, "number of processors")
+		line      = flag.Int("line", 32, "cache line size in bytes")
+		maxLevels = flag.Int("max-levels", 4, "maximum hierarchy depth")
+		maxBranch = flag.Int("max-branch", 3, "maximum internal branching")
+		simulate  = flag.Bool("simulate", false, "score candidates by simulation, not analytically")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	cap, ok := core.SingleRingCapacity[*line]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "topofind: unsupported line size %dB (use 16/32/64/128)\n", *line)
+		os.Exit(2)
+	}
+	specs := topo.EnumerateRingSpecs(*nodes, *maxLevels, *maxBranch, cap)
+	if len(specs) == 0 {
+		fmt.Fprintf(os.Stderr, "topofind: no admissible hierarchy for %d PMs at %dB lines\n", *nodes, *line)
+		os.Exit(1)
+	}
+
+	type scored struct {
+		spec topo.RingSpec
+		hops float64
+		lat  float64
+		sat  bool
+	}
+	results := make([]scored, 0, len(specs))
+	for _, s := range specs {
+		sc := scored{spec: s, hops: s.AverageRingHops()}
+		if *simulate {
+			sys, err := core.NewRingSystem(core.RingSystemConfig{
+				Net:      ring.Config{Spec: s, LineBytes: *line},
+				Workload: workload.PaperDefaults(),
+				Seed:     *seed,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "topofind:", err)
+				os.Exit(1)
+			}
+			res, err := sys.Run(core.DefaultRunConfig())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "topofind:", err)
+				os.Exit(1)
+			}
+			sc.lat, sc.sat = res.Latency, res.Saturated
+		}
+		results = append(results, sc)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if *simulate {
+			return results[i].lat < results[j].lat
+		}
+		a, b := results[i], results[j]
+		if a.spec.NumLevels() != b.spec.NumLevels() {
+			return a.spec.NumLevels() < b.spec.NumLevels()
+		}
+		return a.hops < b.hops
+	})
+
+	fmt.Printf("candidate hierarchies for %d processors, %dB cache lines "+
+		"(leaf <= %d, branch <= %d):\n\n", *nodes, *line, cap, *maxBranch)
+	fmt.Printf("   %-12s %-7s %-10s", "topology", "levels", "avg hops")
+	if *simulate {
+		fmt.Printf(" %-12s", "latency")
+	}
+	fmt.Println()
+	for i, r := range results {
+		marker := "  "
+		if i == 0 {
+			marker = "* "
+		}
+		fmt.Printf(" %s %-12s %-7d %-10.2f", marker, r.spec, r.spec.NumLevels(), r.hops)
+		if *simulate {
+			note := ""
+			if r.sat {
+				note = " (saturated)"
+			}
+			fmt.Printf(" %-8.1f%s", r.lat, note)
+		}
+		fmt.Println()
+	}
+	if want, ok := paperEntry(*nodes, *line); ok {
+		fmt.Printf("\npaper Table 2 entry: %s\n", want)
+	}
+}
+
+// paperEntry returns the published Table 2 topology when the paper
+// lists this (nodes, line) combination.
+func paperEntry(nodes, line int) (string, bool) {
+	table := map[[2]int]string{
+		{4, 16}: "4", {6, 16}: "6", {8, 16}: "8", {12, 16}: "12",
+		{18, 16}: "2:9", {24, 16}: "2:12", {36, 16}: "3:12",
+		{54, 16}: "2:3:9", {72, 16}: "2:3:12", {108, 16}: "3:3:12",
+		{4, 32}: "4", {6, 32}: "6", {8, 32}: "8", {12, 32}: "2:6",
+		{18, 32}: "3:6", {24, 32}: "3:8", {36, 32}: "2:3:6",
+		{54, 32}: "3:3:6", {72, 32}: "3:3:8", {108, 32}: "2:3:3:6",
+		{4, 64}: "4", {6, 64}: "6", {8, 64}: "2:4", {12, 64}: "2:6",
+		{18, 64}: "3:6", {24, 64}: "2:2:6", {36, 64}: "2:3:6",
+		{54, 64}: "3:3:6", {72, 64}: "2:2:3:6", {108, 64}: "2:3:3:6",
+		{4, 128}: "4", {6, 128}: "2:3", {8, 128}: "2:4", {12, 128}: "3:4",
+		{18, 128}: "3:2:3", {24, 128}: "2:3:4", {36, 128}: "3:3:4",
+		{54, 128}: "3:3:2:3", {72, 128}: "2:3:3:4", {108, 128}: "3:3:3:4",
+	}
+	s, ok := table[[2]int{nodes, line}]
+	return s, ok
+}

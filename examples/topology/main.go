@@ -1,0 +1,73 @@
+// Topology exploration: for a machine size, enumerate every
+// admissible ring hierarchy and measure each one — the simulation
+// procedure behind the paper's Table 2 ("the topology of a
+// hierarchical ring system greatly affects its performance").
+//
+// Run with:
+//
+//	go run ./examples/topology
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"ringmesh"
+)
+
+func main() {
+	const (
+		nodes     = 36
+		lineBytes = 64
+	)
+	wl := ringmesh.PaperWorkload()
+	opt := ringmesh.DefaultRunOptions()
+
+	candidates := ringmesh.EnumerateRingTopologies(
+		nodes,
+		4, // at most four levels
+		3, // at most three children per internal ring (bisection limit)
+		ringmesh.SingleRingCapacity(lineBytes),
+	)
+	if len(candidates) == 0 {
+		log.Fatalf("no admissible topology for %d nodes", nodes)
+	}
+
+	type scored struct {
+		topo string
+		lat  float64
+		ci   float64
+	}
+	results := make([]scored, 0, len(candidates))
+	for _, c := range candidates {
+		res, err := ringmesh.RunRing(ringmesh.RingConfig{
+			Topology:  c,
+			LineBytes: lineBytes,
+			Workload:  wl,
+			Seed:      1,
+		}, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, scored{topo: c, lat: res.LatencyCycles, ci: res.LatencyCI95})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].lat < results[j].lat })
+
+	fmt.Printf("candidate hierarchies for %d processors, %dB cache lines,\n", nodes, lineBytes)
+	fmt.Printf("measured under R=1.0 C=0.04 T=4 (best first):\n\n")
+	for i, r := range results {
+		marker := "   "
+		if i == 0 {
+			marker = " * "
+		}
+		fmt.Printf("%s%-10s %8.1f cycles  ±%.1f\n", marker, r.topo, r.lat, r.ci)
+	}
+
+	analytic, err := ringmesh.OptimalRingTopology(nodes, lineBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanalytic choice (depth, then average hop distance): %s\n", analytic)
+	fmt.Println("paper Table 2 lists 2:3:6 for this configuration.")
+}

@@ -1,0 +1,3 @@
+module ringmesh
+
+go 1.22

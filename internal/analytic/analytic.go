@@ -1,0 +1,188 @@
+// Package analytic provides closed-form performance models for the
+// two simulated networks: exact zero-load round-trip latency and
+// bisection-bandwidth saturation bounds. The related work the paper
+// cites (Hamacher & Jiang, ICPP'94) compares the same networks purely
+// analytically; here the models serve as cross-validation anchors —
+// tests drive the flit-level simulator at vanishing load and require
+// it to agree with these formulas, and the saturation bounds explain
+// where the simulated latency knees appear.
+package analytic
+
+import (
+	"fmt"
+
+	"ringmesh/internal/packet"
+	"ringmesh/internal/rng"
+	"ringmesh/internal/topo"
+	"ringmesh/internal/workload"
+)
+
+// Params are the inputs common to both models.
+type Params struct {
+	// LineBytes is the cache line size.
+	LineBytes int
+	// MemLatency is the memory service time in cycles.
+	MemLatency int
+	// ReadProb is the probability a transaction is a read.
+	ReadProb float64
+	// MeshBufFlits is the mesh router buffer depth (0 = cl). Depth 1
+	// halves a worm's streaming rate: with single-flit buffers and a
+	// one-cycle credit loop each buffer accepts a flit only every
+	// other cycle, which is the root of the paper's 1-flit-buffer
+	// results.
+	MeshBufFlits int
+}
+
+// ringRoundTrip returns the exact zero-load round-trip latency of one
+// transaction between src and dst on the given hierarchy, matching
+// the simulator's pipeline: the request tail arrives h_req+f_req-1
+// cycles after issue, memory picks it up next cycle and serves for
+// MemLatency, and the response tail lands h_resp+f_resp-1 cycles
+// after injection.
+func ringRoundTrip(spec topo.RingSpec, p Params, src, dst int, read bool) int {
+	reqType, respType := packet.ReadRequest, packet.ReadResponse
+	if !read {
+		reqType, respType = packet.WriteRequest, packet.WriteResponse
+	}
+	fReq := packet.RingSizing.PacketFlits(reqType, p.LineBytes)
+	fResp := packet.RingSizing.PacketFlits(respType, p.LineBytes)
+	hReq := spec.RingHops(src, dst)
+	hResp := spec.RingHops(dst, src)
+	return hReq + fReq + hResp + fResp + p.MemLatency - 1
+}
+
+// RingZeroLoadLatency returns the expected zero-load round-trip
+// latency under the M-MRP target distribution (remote accesses only,
+// as measured by the simulator).
+func RingZeroLoadLatency(spec topo.RingSpec, p Params, wl workload.MMRP) (float64, error) {
+	pat, err := workload.NewRingLocality(spec.PMs(), wl.R)
+	if err != nil {
+		return 0, err
+	}
+	return expectedLatency(spec.PMs(), pat, func(src, dst int) float64 {
+		return p.ReadProb*float64(ringRoundTrip(spec, p, src, dst, true)) +
+			(1-p.ReadProb)*float64(ringRoundTrip(spec, p, src, dst, false))
+	})
+}
+
+// meshRoundTrip is the mesh analogue. With buffers of two or more
+// flits a worm streams at full rate: injection starts one cycle after
+// issue and the tail arrives 1+h+f cycles in. With 1-flit buffers the
+// one-cycle credit loop halves the streaming rate and delivery takes
+// h+2f cycles (both validated against the flit-level simulator).
+// Memory pickup adds one cycle before its fixed service time.
+func meshRoundTrip(spec topo.MeshSpec, p Params, src, dst int, read bool) int {
+	reqType, respType := packet.ReadRequest, packet.ReadResponse
+	if !read {
+		reqType, respType = packet.WriteRequest, packet.WriteResponse
+	}
+	fReq := packet.MeshSizing.PacketFlits(reqType, p.LineBytes)
+	fResp := packet.MeshSizing.PacketFlits(respType, p.LineBytes)
+	h := spec.HopDistance(src, dst)
+	deliver := func(f int) int {
+		if p.MeshBufFlits == 1 {
+			return h + 2*f
+		}
+		return 1 + h + f
+	}
+	return deliver(fReq) + 1 + p.MemLatency + deliver(fResp)
+}
+
+// MeshZeroLoadLatency returns the expected zero-load round-trip
+// latency under the M-MRP mesh locality distribution.
+func MeshZeroLoadLatency(spec topo.MeshSpec, p Params, wl workload.MMRP) (float64, error) {
+	pat, err := workload.NewMeshLocality(spec, wl.R)
+	if err != nil {
+		return 0, err
+	}
+	return expectedLatency(spec.PMs(), pat, func(src, dst int) float64 {
+		return p.ReadProb*float64(meshRoundTrip(spec, p, src, dst, true)) +
+			(1-p.ReadProb)*float64(meshRoundTrip(spec, p, src, dst, false))
+	})
+}
+
+// expectedLatency averages lat(src,dst) over the pattern's remote
+// target distribution by deterministic dense sampling (fixed seed, so
+// the "analytic" value is itself reproducible; with thousands of
+// draws per machine the sampling error is well under a cycle).
+func expectedLatency(pms int, pat workload.Pattern, lat func(src, dst int) float64) (float64, error) {
+	const draws = 2000
+	r := rng.New(0xA11A11A)
+	total, count := 0.0, 0
+	for src := 0; src < pms; src++ {
+		for i := 0; i < draws/pms+1; i++ {
+			dst := pat.Target(src, r)
+			if dst == src {
+				continue // local accesses bypass the network
+			}
+			total += lat(src, dst)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("analytic: no remote targets sampled")
+	}
+	return total / float64(count), nil
+}
+
+// RingBisectionBound returns the highest sustainable per-PM remote
+// transaction rate (transactions/cycle) imposed by the global ring of
+// a hierarchy: the global ring moves GlobalSpeed flits per cycle per
+// link, and under uniform traffic a fraction of all transactions'
+// flits must traverse it.
+func RingBisectionBound(spec topo.RingSpec, p Params, globalSpeed float64) float64 {
+	if spec.NumLevels() < 2 {
+		return 1 // no global ring: bounded elsewhere
+	}
+	pms := spec.PMs()
+	sub := spec.SubtreeSize(1) // PMs per global-ring child
+	branches := spec.Levels[0]
+	// Probability a uniform-random remote transaction crosses between
+	// two different children of the global ring.
+	cross := float64((branches-1)*sub) / float64(pms-1)
+	// Flits moved per transaction (request one way, response back).
+	flits := avgTransactionFlits(packet.RingSizing, p)
+	// Global ring capacity: one flit per link per cycle; `branches`
+	// links total, each crossing transaction occupies on average
+	// (branches+1)/2 of them per direction... conservatively use the
+	// aggregate: capacity = branches * globalSpeed flit-cycles, and a
+	// crossing transaction's flits traverse on average half the ring
+	// per packet.
+	avgLinks := float64(branches+1) / 2
+	demandPerTx := cross * flits * avgLinks / 2
+	if demandPerTx == 0 {
+		return 1
+	}
+	capacity := float64(branches) * globalSpeed
+	return capacity / demandPerTx / float64(pms)
+}
+
+// MeshBisectionBound returns the per-PM remote transaction rate bound
+// from the mesh bisection: 2K directed links each way across the cut,
+// and under uniform traffic half of all transactions cross it.
+func MeshBisectionBound(spec topo.MeshSpec, p Params) float64 {
+	k := spec.K
+	if k < 2 {
+		return 1
+	}
+	pms := float64(spec.PMs())
+	// Under uniform traffic half of all transactions cross the
+	// vertical bisection. The cut carries k directed links per
+	// direction (one per row), and a crossing transaction sends half
+	// its flits each way (request out, response back).
+	cross := 0.5
+	flits := avgTransactionFlits(packet.MeshSizing, p) / 2 // per direction
+	capacityPerDirection := float64(k)
+	bound := capacityPerDirection / (cross * flits)
+	return bound / (pms / 2)
+}
+
+// avgTransactionFlits returns the expected total flits (request +
+// response) of one transaction.
+func avgTransactionFlits(s packet.Sizing, p Params) float64 {
+	read := float64(s.PacketFlits(packet.ReadRequest, p.LineBytes) +
+		s.PacketFlits(packet.ReadResponse, p.LineBytes))
+	write := float64(s.PacketFlits(packet.WriteRequest, p.LineBytes) +
+		s.PacketFlits(packet.WriteResponse, p.LineBytes))
+	return p.ReadProb*read + (1-p.ReadProb)*write
+}

@@ -1,0 +1,191 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"ringmesh/internal/core"
+	"ringmesh/internal/mesh"
+	"ringmesh/internal/node"
+	"ringmesh/internal/packet"
+	"ringmesh/internal/ring"
+	"ringmesh/internal/topo"
+	"ringmesh/internal/workload"
+)
+
+// lowLoad is a workload so light that queueing is negligible: the
+// simulator's measured latency must converge to the zero-load model.
+func lowLoad() workload.MMRP {
+	return workload.MMRP{R: 1.0, C: 0.0005, T: 1, ReadProb: 0.7}
+}
+
+func TestRingRoundTripFormula(t *testing.T) {
+	// 2-node ring, 64B lines, read: h=1 each way, req 1 flit, resp 5
+	// flits, mem 10 → 1+1+1+5+10-1 = 17 (matches the timing test in
+	// internal/ring).
+	spec := topo.MustRingSpec(2)
+	p := Params{LineBytes: 64, MemLatency: 10, ReadProb: 0.7}
+	if got := ringRoundTrip(spec, p, 0, 1, true); got != 17 {
+		t.Fatalf("ring round trip = %d, want 17", got)
+	}
+	// Write: req 5 flits, resp 1 flit — same total on a symmetric
+	// path.
+	if got := ringRoundTrip(spec, p, 0, 1, false); got != 17 {
+		t.Fatalf("ring write round trip = %d, want 17", got)
+	}
+}
+
+func TestMeshRoundTripFormula(t *testing.T) {
+	// Neighbours on a 2x2 mesh, 32B lines, read: req 4 flits arrive
+	// at 1+1+4=6, memory pickup +1 and service 10, response 12 flits
+	// land 1+1+12=14 cycles after they are pending -> 6+11+14 = 31.
+	spec := topo.MustMeshSpec(2)
+	p := Params{LineBytes: 32, MemLatency: 10, ReadProb: 0.7}
+	if got := meshRoundTrip(spec, p, 0, 1, true); got != 31 {
+		t.Fatalf("mesh round trip = %d, want 31", got)
+	}
+	// With 1-flit buffers the streaming terms double:
+	// (1+2*4) + 11 + (1+2*12) = 45.
+	p.MeshBufFlits = 1
+	if got := meshRoundTrip(spec, p, 0, 1, true); got != 45 {
+		t.Fatalf("mesh 1-flit round trip = %d, want 45", got)
+	}
+}
+
+// The flit-level simulator at vanishing load must agree with the
+// zero-load model to within a cycle or two (batch-means noise).
+func TestRingSimulatorMatchesZeroLoadModel(t *testing.T) {
+	for _, tc := range []struct {
+		spec topo.RingSpec
+		line int
+	}{
+		{topo.MustRingSpec(6), 32},
+		{topo.MustRingSpec(2, 4), 64},
+		{topo.MustRingSpec(2, 2, 3), 128},
+	} {
+		p := Params{LineBytes: tc.line, MemLatency: node.DefaultMemLatency, ReadProb: 0.7}
+		want, err := RingZeroLoadLatency(tc.spec, p, lowLoad())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := core.NewRingSystem(core.RingSystemConfig{
+			Net:      ring.Config{Spec: tc.spec, LineBytes: tc.line},
+			Workload: lowLoad(),
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(core.RunConfig{WarmupCycles: 20000, BatchCycles: 50000, Batches: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Observations < 50 {
+			t.Fatalf("%v: too few observations (%d)", tc.spec, res.Observations)
+		}
+		if math.Abs(res.Latency-want) > 0.05*want+1 {
+			t.Fatalf("%v %dB: simulated %0.2f vs model %0.2f", tc.spec, tc.line, res.Latency, want)
+		}
+	}
+}
+
+func TestMeshSimulatorMatchesZeroLoadModel(t *testing.T) {
+	for _, tc := range []struct {
+		k, line, buf int
+	}{
+		{3, 32, 4},
+		{4, 64, 0},
+		{2, 128, 1},
+	} {
+		spec := topo.MustMeshSpec(tc.k)
+		p := Params{LineBytes: tc.line, MemLatency: node.DefaultMemLatency,
+			ReadProb: 0.7, MeshBufFlits: tc.buf}
+		want, err := MeshZeroLoadLatency(spec, p, lowLoad())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := core.NewMeshSystem(core.MeshSystemConfig{
+			Net:      mesh.Config{Spec: spec, LineBytes: tc.line, BufferFlits: tc.buf},
+			Workload: lowLoad(),
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(core.RunConfig{WarmupCycles: 20000, BatchCycles: 50000, Batches: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Observations < 50 {
+			t.Fatalf("%dx%d: too few observations (%d)", tc.k, tc.k, res.Observations)
+		}
+		if math.Abs(res.Latency-want) > 0.05*want+1 {
+			t.Fatalf("%dx%d %dB buf=%d: simulated %0.2f vs model %0.2f",
+				tc.k, tc.k, tc.line, tc.buf, res.Latency, want)
+		}
+	}
+}
+
+func TestRingBisectionBoundOrdering(t *testing.T) {
+	p := Params{LineBytes: 32, MemLatency: 10, ReadProb: 0.7}
+	// More children on the global ring tighten the per-PM bound.
+	three := RingBisectionBound(topo.MustRingSpec(3, 3, 8), p, 1)
+	five := RingBisectionBound(topo.MustRingSpec(5, 3, 8), p, 1)
+	if five >= three {
+		t.Fatalf("bound should tighten with more children: 3->%v 5->%v", three, five)
+	}
+	// A double-speed global ring doubles the bound.
+	dbl := RingBisectionBound(topo.MustRingSpec(3, 3, 8), p, 2)
+	if math.Abs(dbl-2*three) > 1e-12 {
+		t.Fatalf("double speed bound %v, want %v", dbl, 2*three)
+	}
+	// Single rings are not globally bisection bound.
+	if RingBisectionBound(topo.MustRingSpec(8), p, 1) != 1 {
+		t.Fatal("single ring should return the no-bound sentinel")
+	}
+}
+
+// The bisection bound must explain the paper's "three local rings"
+// knee: at C=0.04 the offered per-PM remote rate (~0.038) is below
+// the 2-child bound but above the bound once more second-level rings
+// are attached at their saturating sizes.
+func TestRingBoundExplainsSaturation(t *testing.T) {
+	p := Params{LineBytes: 32, MemLatency: 10, ReadProb: 0.7}
+	offered := 0.04 * (1 - 1.0/72)
+	b3 := RingBisectionBound(topo.MustRingSpec(3, 3, 8), p, 1)
+	if b3 > offered {
+		t.Fatalf("3x3x8 should be past saturation at C=0.04: bound %v vs offered %v", b3, offered)
+	}
+	// The mesh bound at 121 nodes must be far looser than the
+	// equivalent ring bound (the paper's scaling argument).
+	mb := MeshBisectionBound(topo.MustMeshSpec(11), p)
+	rb := RingBisectionBound(topo.MustRingSpec(5, 3, 8), p, 1)
+	if mb <= rb {
+		t.Fatalf("mesh bound %v should exceed ring bound %v at ~121 nodes", mb, rb)
+	}
+}
+
+func TestMeshBisectionBoundShrinksWithSize(t *testing.T) {
+	p := Params{LineBytes: 64, MemLatency: 10, ReadProb: 0.7}
+	small := MeshBisectionBound(topo.MustMeshSpec(4), p)
+	large := MeshBisectionBound(topo.MustMeshSpec(11), p)
+	if large >= small {
+		t.Fatalf("per-PM mesh bound should shrink with size: %v -> %v", small, large)
+	}
+	if MeshBisectionBound(topo.MustMeshSpec(1), p) != 1 {
+		t.Fatal("1x1 mesh should return the no-bound sentinel")
+	}
+}
+
+func TestAvgTransactionFlits(t *testing.T) {
+	p := Params{LineBytes: 32, ReadProb: 1.0}
+	// All reads on rings: 1 + 3 = 4 flits.
+	if got := avgTransactionFlits(packet.RingSizing, p); got != 4 {
+		t.Fatalf("read flits = %v", got)
+	}
+	p.ReadProb = 0
+	// All writes: 3 + 1 = 4 flits.
+	if got := avgTransactionFlits(packet.RingSizing, p); got != 4 {
+		t.Fatalf("write flits = %v", got)
+	}
+}

@@ -1,0 +1,403 @@
+// Package core assembles processing modules and a network into a
+// runnable system and drives it with the paper's output-analysis
+// method: batch means with the first batch discarded.
+//
+// The registration order is fixed — PMs first, then the network — so
+// within a tick every PM's commit (miss generation, memory service)
+// precedes the network's commit (injection pickup, flit movement,
+// delivery). This makes runs bit-for-bit reproducible for a given
+// seed.
+package core
+
+import (
+	"fmt"
+
+	"ringmesh/internal/mesh"
+	"ringmesh/internal/node"
+	"ringmesh/internal/packet"
+	"ringmesh/internal/ring"
+	"ringmesh/internal/sim"
+	"ringmesh/internal/stats"
+	"ringmesh/internal/topo"
+	"ringmesh/internal/trace"
+	"ringmesh/internal/workload"
+)
+
+// network is the common surface of both interconnect models.
+type network interface {
+	sim.Component
+	BufferedFlits() int
+	ResetUtilization()
+	CheckInvariants() error
+}
+
+// ringNetwork adds the ring-specific per-level utilization metric
+// (implemented by both the wormhole and the slotted ring models).
+type ringNetwork interface {
+	network
+	UtilizationByLevel() []float64
+}
+
+// System is a complete simulated multiprocessor.
+type System struct {
+	engine  *sim.Engine
+	col     *node.Collector
+	pms     []*node.PM
+	net     network
+	ringNet ringNetwork   // non-nil for ring systems
+	meshNet *mesh.Network // non-nil for mesh systems
+
+	ticksPerCycle int64
+	pmCount       int
+	workloadC     float64
+	desc          string
+}
+
+// RingSystemConfig configures a hierarchical-ring system.
+type RingSystemConfig struct {
+	// Net is the network configuration (topology, line size, global
+	// ring speed).
+	Net ring.Config
+	// Workload is the M-MRP attribute set.
+	Workload workload.MMRP
+	// MemLatency is the memory service time in PM cycles (0 = default).
+	MemLatency int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Histogram, when true, also collects the full latency
+	// distribution so Result can report percentiles.
+	Histogram bool
+	// Tracer optionally records per-packet lifecycle events.
+	Tracer *trace.Recorder
+}
+
+// NewRingSystem builds a hierarchical-ring multiprocessor.
+func NewRingSystem(cfg RingSystemConfig) (*System, error) {
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Net.Spec.PMs()
+	pattern, err := workload.NewRingLocality(p, cfg.Workload.R)
+	if err != nil {
+		return nil, err
+	}
+	tpc := cfg.Net.TicksPerCycle()
+	s := &System{
+		engine:        &sim.Engine{},
+		col:           node.NewCollector(tpc),
+		ticksPerCycle: tpc,
+		pmCount:       p,
+		workloadC:     cfg.Workload.C,
+		desc:          fmt.Sprintf("ring %s cl=%dB (%s)", cfg.Net.Spec, cfg.Net.LineBytes, cfg.Net.Switching),
+	}
+	if cfg.Histogram {
+		s.col.Hist = stats.NewHistogram(4096, 1)
+	}
+	ports := make([]ring.PMPort, p)
+	for id := 0; id < p; id++ {
+		pm, err := node.NewPM(id, node.Config{
+			Workload:   cfg.Workload,
+			Pattern:    pattern,
+			Sizing:     packet.RingSizing,
+			LineBytes:  cfg.Net.LineBytes,
+			MemLatency: cfg.MemLatency,
+			Seed:       cfg.Seed,
+			Tracer:     cfg.Tracer,
+		}, s.col)
+		if err != nil {
+			return nil, err
+		}
+		s.pms = append(s.pms, pm)
+		ports[id] = pm
+		s.engine.Register(pm, tpc)
+	}
+	var net ringNetwork
+	var err2 error
+	if cfg.Net.Switching == ring.Slotted {
+		sn, err := ring.NewSlotted(cfg.Net, ports, s.engine)
+		if err == nil {
+			sn.SetTracer(cfg.Tracer)
+		}
+		net, err2 = sn, err
+	} else {
+		wn, err := ring.New(cfg.Net, ports, s.engine)
+		if err == nil {
+			wn.SetTracer(cfg.Tracer)
+		}
+		net, err2 = wn, err
+	}
+	if err2 != nil {
+		return nil, err2
+	}
+	s.net, s.ringNet = net, net
+	s.engine.Register(net, 1)
+	s.engine.InFlight = s.col.InFlight
+	return s, nil
+}
+
+// MeshSystemConfig configures a 2D mesh system.
+type MeshSystemConfig struct {
+	// Net is the network configuration (geometry, line size, buffer
+	// depth).
+	Net mesh.Config
+	// Workload is the M-MRP attribute set.
+	Workload workload.MMRP
+	// MemLatency is the memory service time in PM cycles (0 = default).
+	MemLatency int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Histogram, when true, also collects the full latency
+	// distribution so Result can report percentiles.
+	Histogram bool
+	// Tracer optionally records per-packet lifecycle events.
+	Tracer *trace.Recorder
+}
+
+// NewMeshSystem builds a mesh multiprocessor.
+func NewMeshSystem(cfg MeshSystemConfig) (*System, error) {
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Net.Spec.PMs()
+	pattern, err := workload.NewMeshLocality(cfg.Net.Spec, cfg.Workload.R)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		engine:        &sim.Engine{},
+		col:           node.NewCollector(1),
+		ticksPerCycle: 1,
+		pmCount:       p,
+		workloadC:     cfg.Workload.C,
+		desc:          fmt.Sprintf("mesh %s cl=%dB buf=%d", cfg.Net.Spec, cfg.Net.LineBytes, cfg.Net.BufferFlits),
+	}
+	if cfg.Histogram {
+		s.col.Hist = stats.NewHistogram(4096, 1)
+	}
+	ports := make([]mesh.PMPort, p)
+	for id := 0; id < p; id++ {
+		pm, err := node.NewPM(id, node.Config{
+			Workload:   cfg.Workload,
+			Pattern:    pattern,
+			Sizing:     packet.MeshSizing,
+			LineBytes:  cfg.Net.LineBytes,
+			MemLatency: cfg.MemLatency,
+			Seed:       cfg.Seed,
+			Tracer:     cfg.Tracer,
+		}, s.col)
+		if err != nil {
+			return nil, err
+		}
+		s.pms = append(s.pms, pm)
+		ports[id] = pm
+		s.engine.Register(pm, 1)
+	}
+	net, err := mesh.New(cfg.Net, ports, s.engine)
+	if err != nil {
+		return nil, err
+	}
+	net.SetTracer(cfg.Tracer)
+	s.net, s.meshNet = net, net
+	s.engine.Register(net, 1)
+	s.engine.InFlight = s.col.InFlight
+	return s, nil
+}
+
+// Collector exposes the measurement aggregate (for tests).
+func (s *System) Collector() *node.Collector { return s.col }
+
+// Engine exposes the cycle engine (for tests).
+func (s *System) Engine() *sim.Engine { return s.engine }
+
+// PMs returns the number of processing modules.
+func (s *System) PMs() int { return s.pmCount }
+
+// Describe returns a human-readable system summary.
+func (s *System) Describe() string { return s.desc }
+
+// StepCycles advances the system by n PM clock cycles.
+func (s *System) StepCycles(n int64) error {
+	return s.engine.Run(n * s.ticksPerCycle)
+}
+
+// RunConfig controls the batch-means run.
+type RunConfig struct {
+	// WarmupCycles is the discarded first batch, in PM cycles.
+	WarmupCycles int64
+	// BatchCycles is the length of each retained batch.
+	BatchCycles int64
+	// Batches is the number of retained batches.
+	Batches int
+	// WatchdogCycles stalls-detection horizon (0 = default 20000).
+	WatchdogCycles int64
+}
+
+// DefaultRunConfig returns run lengths that give tight confidence
+// intervals for the paper's operating points in a few tens of
+// milliseconds per point.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{WarmupCycles: 4000, BatchCycles: 4000, Batches: 8}
+}
+
+// QuickRunConfig returns shortened lengths for smoke tests and
+// benchmarks.
+func QuickRunConfig() RunConfig {
+	return RunConfig{WarmupCycles: 1000, BatchCycles: 1000, Batches: 4}
+}
+
+func (rc RunConfig) validate() error {
+	if rc.WarmupCycles < 0 || rc.BatchCycles <= 0 || rc.Batches < 1 {
+		return fmt.Errorf("core: bad run config %+v", rc)
+	}
+	return nil
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Latency is the average round-trip access latency in PM clock
+	// cycles (the paper's primary metric).
+	Latency float64
+	// LatencyCI is the 95% confidence half-width on Latency.
+	LatencyCI float64
+	// Observations is the number of completed transactions measured.
+	Observations int64
+	// RingUtil is per-level ring utilization in [0,1] (index 0 =
+	// global ring); nil for mesh systems.
+	RingUtil []float64
+	// MeshUtil is aggregate inter-router link utilization in [0,1];
+	// zero for ring systems.
+	MeshUtil float64
+	// Throughput is completed transactions per PM cycle (whole
+	// system).
+	Throughput float64
+	// Issued, Completed, Local are transaction counts over the whole
+	// run (including warmup).
+	Issued, Completed, Local int64
+	// LatencyP50, LatencyP95 and LatencyMax describe the latency
+	// distribution when the system was built with Histogram set
+	// (zero otherwise).
+	LatencyP50, LatencyP95, LatencyMax float64
+	// BatchesCorrelated flags strong lag-1 autocorrelation among batch
+	// means (|r| > 0.5): the batches are too short relative to the
+	// system's time constants and LatencyCI understates uncertainty.
+	BatchesCorrelated bool
+	// Stalled is set when the deadlock watchdog tripped; the other
+	// fields then describe the run up to the stall.
+	Stalled bool
+	// Saturated is set when processors spent most of their time
+	// blocked on the T-window: the realized miss-generation rate fell
+	// below half the configured rate C, so the network is past its
+	// saturation point and the latency estimate understates open-loop
+	// delay.
+	Saturated bool
+}
+
+// Run executes warmup plus the configured batches and returns the
+// aggregated result. A tripped watchdog sets Stalled instead of
+// returning an error so sweeps can plot saturation points.
+func (s *System) Run(rc RunConfig) (Result, error) {
+	if err := rc.validate(); err != nil {
+		return Result{}, err
+	}
+	wd := rc.WatchdogCycles
+	if wd == 0 {
+		wd = 20000
+	}
+	s.engine.WatchdogTicks = wd * s.ticksPerCycle
+
+	stalled := false
+	if err := s.StepCycles(rc.WarmupCycles); err != nil {
+		stalled = true
+	}
+	s.col.Latency.CloseBatch() // discarded by the batch-means filter
+	s.net.ResetUtilization()
+
+	if !stalled {
+		for b := 0; b < rc.Batches; b++ {
+			if err := s.StepCycles(rc.BatchCycles); err != nil {
+				stalled = true
+				break
+			}
+			s.col.Latency.CloseBatch()
+		}
+	}
+	if err := s.net.CheckInvariants(); err != nil {
+		return Result{}, err
+	}
+
+	totalCycles := float64(rc.BatchCycles) * float64(rc.Batches)
+	res := Result{
+		Latency:      s.col.Latency.Mean(),
+		LatencyCI:    s.col.Latency.HalfWidth(),
+		Observations: s.col.Latency.Observations(),
+		Issued:       s.col.Issued,
+		Completed:    s.col.Completed,
+		Local:        s.col.Local,
+		Stalled:      stalled,
+	}
+	if totalCycles > 0 {
+		res.Throughput = float64(res.Observations) / totalCycles
+	}
+	res.BatchesCorrelated = s.col.Latency.Correlated(0.5)
+	if s.col.Hist != nil && s.col.Hist.Count() > 0 {
+		res.LatencyP50 = s.col.Hist.Quantile(0.5)
+		res.LatencyP95 = s.col.Hist.Quantile(0.95)
+		res.LatencyMax = s.col.Hist.Quantile(1)
+	}
+	if s.ringNet != nil {
+		res.RingUtil = s.ringNet.UtilizationByLevel()
+	}
+	if s.meshNet != nil {
+		res.MeshUtil = s.meshNet.Utilization()
+	}
+	// Saturation: compare realized generation (remote + local misses)
+	// against the configured rate C over the whole run including
+	// warmup.
+	allCycles := float64(rc.WarmupCycles) + totalCycles
+	if allCycles > 0 {
+		expected := s.workloadC * allCycles * float64(s.pmCount)
+		if float64(res.Issued+res.Local) < 0.5*expected {
+			res.Saturated = true
+		}
+	}
+	return res, nil
+}
+
+// RingTopologyFor returns the hierarchy the paper's Table 2 would use
+// for the given PM count and cache line size: leaf rings hold at most
+// the single-ring capacity for that line size (12/8/6/4 PMs for
+// 16/32/64/128-byte lines, Section 3) and every internal ring carries
+// at most three children (the bisection-bandwidth limit the paper
+// derives). Among the admissible hierarchies it picks the one with
+// the fewest levels, then the smallest average hop distance.
+func RingTopologyFor(pms, lineBytes int) (topo.RingSpec, error) {
+	cap, ok := SingleRingCapacity[lineBytes]
+	if !ok {
+		return topo.RingSpec{}, fmt.Errorf("core: unsupported line size %dB", lineBytes)
+	}
+	specs := topo.EnumerateRingSpecs(pms, 4, 3, cap)
+	if len(specs) == 0 {
+		return topo.RingSpec{}, fmt.Errorf("core: no admissible ring topology for %d PMs at %dB lines", pms, lineBytes)
+	}
+	best := specs[0]
+	bestHops := best.AverageRingHops()
+	for _, s := range specs[1:] {
+		h := s.AverageRingHops()
+		if s.NumLevels() < best.NumLevels() ||
+			(s.NumLevels() == best.NumLevels() && h < bestHops) {
+			best, bestHops = s, h
+		}
+	}
+	return best, nil
+}
+
+// SingleRingCapacity is the paper's conservative single-ring node
+// count per cache line size (Section 3, Figure 6): the largest ring
+// that shows almost no degradation under R=1.0, C=0.04, T=4.
+var SingleRingCapacity = map[int]int{16: 12, 32: 8, 64: 6, 128: 4}

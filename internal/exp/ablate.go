@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"fmt"
+
+	"ringmesh/internal/core"
+	"ringmesh/internal/mesh"
+	"ringmesh/internal/ring"
+	"ringmesh/internal/topo"
+)
+
+// Ablation experiments: these are not paper artifacts; they check
+// that the reproduction's conclusions do not hinge on parameters the
+// paper leaves unspecified (see DESIGN.md "Fidelity decisions").
+func init() {
+	register(Experiment{
+		ID:    "ablate-memlat",
+		Title: "Sensitivity to the memory service latency",
+		Caption: "The paper does not state its memory service time; we default to 10 " +
+			"cycles. This sweep shows the ring-vs-mesh gap at 72/64 processors as the " +
+			"service time varies — the ordering, not the offsets, is what the " +
+			"reproduction's conclusions rest on.",
+		Run: runAblateMemLat,
+	})
+	register(Experiment{
+		ID:    "ablate-detgap",
+		Title: "Deterministic vs geometric miss inter-arrival gaps",
+		Caption: "The paper's generator fires a miss every 25 cycles on average (C=0.04). " +
+			"We default to geometric gaps; this compares against exactly-25-cycle gaps.",
+		Run: runAblateDetGap,
+	})
+	register(Experiment{
+		ID:    "ablate-iriq",
+		Title: "Sensitivity to IRI up/down queue depth",
+		Caption: "The paper sizes every IRI buffer at exactly one cache-line packet. " +
+			"This sweep deepens the up/down queues to check how much of the hierarchy's " +
+			"latency comes from inter-ring backpressure.",
+		Run: runAblateIRIQ,
+	})
+}
+
+func runAblateMemLat(spec Spec) (Output, error) {
+	out := Output{ID: "ablate-memlat", XLabel: "memory latency (cycles)", YLabel: "latency (cycles)"}
+	ringSpec := topo.MustRingSpec(3, 3, 8)
+	var jobs []job
+	ri := len(out.Series)
+	out.Series = append(out.Series, Series{Label: "ring 3:3:8 32B"})
+	mi := len(out.Series)
+	out.Series = append(out.Series, Series{Label: "mesh 8x8 32B 4-flit"})
+	for _, ml := range []int{1, 5, 10, 20, 40} {
+		ml := ml
+		jobs = append(jobs,
+			job{series: ri, x: float64(ml), build: func() (*core.System, error) {
+				return core.NewRingSystem(core.RingSystemConfig{
+					Net:        ring.Config{Spec: ringSpec, LineBytes: 32},
+					Workload:   baseWorkload(),
+					MemLatency: ml,
+					Seed:       spec.Seed,
+				})
+			}},
+			job{series: mi, x: float64(ml), build: func() (*core.System, error) {
+				return core.NewMeshSystem(core.MeshSystemConfig{
+					Net:        mesh.Config{Spec: topo.MustMeshSpec(8), LineBytes: 32, BufferFlits: 4},
+					Workload:   baseWorkload(),
+					MemLatency: ml,
+					Seed:       spec.Seed,
+				})
+			}},
+		)
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	// Summarize: the mesh should stay ahead at this size for every
+	// memory latency (ordering robustness).
+	t := Table{Title: "mesh/ring latency ratio per memory latency", Header: []string{"mem latency", "ratio"}}
+	for i, rp := range out.Series[0].Points {
+		if i < len(out.Series[1].Points) && rp.Y > 0 {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.0f", rp.X),
+				fmt.Sprintf("%.2f", out.Series[1].Points[i].Y/rp.Y),
+			})
+		}
+	}
+	out.Tables = append(out.Tables, t)
+	return out, nil
+}
+
+func runAblateDetGap(spec Spec) (Output, error) {
+	out := Output{ID: "ablate-detgap", XLabel: "nodes", YLabel: "latency (cycles)"}
+	var jobs []job
+	for _, det := range []bool{false, true} {
+		name := "geometric gaps"
+		if det {
+			name = "deterministic gaps"
+		}
+		si := len(out.Series)
+		out.Series = append(out.Series, Series{Label: name})
+		wl := baseWorkload()
+		wl.Deterministic = det
+		for _, ts := range []topo.RingSpec{
+			topo.MustRingSpec(8), topo.MustRingSpec(3, 8), topo.MustRingSpec(3, 3, 8),
+		} {
+			jobs = append(jobs, job{
+				series: si, x: float64(ts.PMs()),
+				build: ringBuilder(spec, ts, 32, wl, false),
+			})
+		}
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	return out, nil
+}
+
+func runAblateIRIQ(spec Spec) (Output, error) {
+	out := Output{ID: "ablate-iriq", XLabel: "IRI queue depth (flits)", YLabel: "latency (cycles)"}
+	ringSpec := topo.MustRingSpec(3, 3, 8)
+	si := len(out.Series)
+	out.Series = append(out.Series, Series{Label: "ring 3:3:8 32B, R=1.0"})
+	sj := len(out.Series)
+	out.Series = append(out.Series, Series{Label: "ring 3:3:8 32B, R=0.2"})
+	var jobs []job
+	for _, q := range []int{3, 6, 12, 24} {
+		q := q
+		mk := func(r float64) func() (*core.System, error) {
+			return func() (*core.System, error) {
+				wl := baseWorkload()
+				wl.R = r
+				return core.NewRingSystem(core.RingSystemConfig{
+					Net:      ring.Config{Spec: ringSpec, LineBytes: 32, IRIQueueFlits: q},
+					Workload: wl,
+					Seed:     spec.Seed,
+				})
+			}
+		}
+		jobs = append(jobs,
+			job{series: si, x: float64(q), build: mk(1.0)},
+			job{series: sj, x: float64(q), build: mk(0.2)},
+		)
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	return out, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ablate-switching",
+		Title: "Wormhole vs slotted ring switching",
+		Caption: "The paper assumes wormhole rings while Hector/NUMAchine used slotted " +
+			"rings (footnote 3); the authors' companion study (IEICE '96) compares the " +
+			"techniques. Our packet-sized-slot model pays cl cycles per hop but never " +
+			"blocks; wormhole pipelines flits but stalls under contention.",
+		Run: runAblateSwitching,
+	})
+}
+
+func runAblateSwitching(spec Spec) (Output, error) {
+	out := Output{ID: "ablate-switching", XLabel: "nodes", YLabel: "latency (cycles)"}
+	var jobs []job
+	sweeps := []topo.RingSpec{
+		topo.MustRingSpec(8), topo.MustRingSpec(2, 8), topo.MustRingSpec(3, 8),
+		topo.MustRingSpec(2, 3, 8), topo.MustRingSpec(3, 3, 8),
+	}
+	for _, sw := range []ring.Switching{ring.Wormhole, ring.Slotted} {
+		for _, line := range []int{16, 128} {
+			si := len(out.Series)
+			out.Series = append(out.Series, Series{Label: fmt.Sprintf("%s %dB", sw, line)})
+			for _, ts := range sweeps {
+				ts, sw, line := ts, sw, line
+				jobs = append(jobs, job{
+					series: si, x: float64(ts.PMs()),
+					build: func() (*core.System, error) {
+						return core.NewRingSystem(core.RingSystemConfig{
+							Net:      ring.Config{Spec: ts, LineBytes: line, Switching: sw},
+							Workload: baseWorkload(),
+							Seed:     spec.Seed,
+						})
+					},
+				})
+			}
+		}
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package exp
+
+import (
+	"fmt"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Ring vs mesh latency, 4-flit mesh buffers, no locality",
+		Caption: "Paper Figure 14: rings win below, meshes above a cross-over point that " +
+			"grows with cache line size (paper: 16/25/27/36 nodes for 16/32/64/128B); the " +
+			"gap widens with larger T. R=1.0 C=0.04.",
+		Run: runFig14,
+	})
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Ring vs mesh latency, cl-sized mesh buffers, 128B lines",
+		Caption: "Paper Figure 15: with cache-line-sized mesh buffers the cross-over drops " +
+			"to 16-30 nodes depending on T (worms never stall across more than one link).",
+		Run: runFig15,
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Ring vs mesh latency, 1-flit mesh buffers, 128B lines",
+		Caption: "Paper Figure 16: with 1-flit mesh buffers rings outperform meshes for all " +
+			"sizes up to 121 nodes (worms block across many links).",
+		Run: runFig16,
+	})
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Ring vs mesh latency under locality (R=0.1/0.2/0.3), 4-flit buffers",
+		Caption: "Paper Figure 17: with moderate locality the paper reports rings ahead of " +
+			"meshes by ~20-30% for 32-128B lines up to 121 processors (see EXPERIMENTS.md " +
+			"for how our reproduction compares).",
+		Run: runFig17,
+	})
+	register(Experiment{
+		ID:    "fig18",
+		Title: "Ring vs mesh latency under locality, cl-sized mesh buffers, 128B lines",
+		Caption: "Paper Figure 18: locality pushes the cross-over point out to 45+ " +
+			"processors even with cache-line-sized mesh buffers.",
+		Run: runFig18,
+	})
+	register(Experiment{
+		ID:    "fig21",
+		Title: "Mesh (4-flit) vs 3-level rings with double-speed global ring",
+		Caption: "Paper Figure 21: with the global ring clocked 2x, 128B-line rings beat " +
+			"meshes by 10-20% at up to ~120 processors even without locality; for 32/64B " +
+			"the cross-over is unchanged since it falls below the 3-level threshold.",
+		Run: runFig21,
+	})
+}
+
+// compareSweep builds ring-vs-mesh series for one line size and
+// workload; buf is the mesh buffer depth (0 = cl) and dbl selects
+// double-speed global rings.
+func compareSweep(spec Spec, out *Output, jobs *[]job, line int, buf int,
+	T int, R float64, dbl bool, labelSuffix string) (ringIdx, meshIdx int) {
+	wl := baseWorkload()
+	wl.T = T
+	wl.R = R
+	ringIdx = len(out.Series)
+	out.Series = append(out.Series, Series{Label: "ring " + labelSuffix})
+	for _, ts := range specsForSizes(line, ringLadder(line)) {
+		*jobs = append(*jobs, job{
+			series: ringIdx, x: float64(ts.PMs()),
+			build: ringBuilder(spec, ts, line, wl, dbl),
+		})
+	}
+	meshIdx = len(out.Series)
+	out.Series = append(out.Series, Series{Label: "mesh " + labelSuffix})
+	for _, n := range meshLadder() {
+		k := 0
+		for k*k < n {
+			k++
+		}
+		*jobs = append(*jobs, job{
+			series: meshIdx, x: float64(n),
+			build: meshBuilder(spec, k, line, buf, wl),
+		})
+	}
+	return ringIdx, meshIdx
+}
+
+// crossoverTable summarizes cross-over points for ring/mesh series
+// pairs.
+func crossoverTable(out *Output, pairs [][2]int, note string) Table {
+	t := Table{
+		Title:  "Cross-over points (nodes where the mesh becomes faster)" + note,
+		Header: []string{"configuration", "cross-over (nodes)"},
+	}
+	for _, pr := range pairs {
+		ringS, meshS := out.Series[pr[0]], out.Series[pr[1]]
+		x := crossover(ringS, meshS)
+		val := "none up to 121"
+		if x > 0 {
+			val = fmt.Sprintf("%.0f", x)
+		}
+		t.Rows = append(t.Rows, []string{meshS.Label, val})
+	}
+	return t
+}
+
+func runFig14(spec Spec) (Output, error) {
+	out := Output{ID: "fig14", XLabel: "nodes", YLabel: "latency (network cycles)"}
+	var jobs []job
+	var pairs [][2]int
+	for _, line := range lineSizes {
+		for _, T := range []int{1, 2, 4} {
+			r, m := compareSweep(spec, &out, &jobs, line, 4, T, 1.0, false,
+				fmt.Sprintf("%dB T=%d", line, T))
+			pairs = append(pairs, [2]int{r, m})
+		}
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	out.Tables = append(out.Tables, crossoverTable(&out, pairs,
+		" — paper: 16/25/27/36 for 16/32/64/128B at T=4"))
+	return out, nil
+}
+
+func runFig15(spec Spec) (Output, error) {
+	out := Output{ID: "fig15", XLabel: "nodes", YLabel: "latency (network cycles)"}
+	var jobs []job
+	var pairs [][2]int
+	for _, T := range []int{1, 2, 4} {
+		r, m := compareSweep(spec, &out, &jobs, 128, 0, T, 1.0, false,
+			fmt.Sprintf("128B cl-buf T=%d", T))
+		pairs = append(pairs, [2]int{r, m})
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	out.Tables = append(out.Tables, crossoverTable(&out, pairs, " — paper: 16-30 depending on T"))
+	return out, nil
+}
+
+func runFig16(spec Spec) (Output, error) {
+	out := Output{ID: "fig16", XLabel: "nodes", YLabel: "latency (network cycles)"}
+	var jobs []job
+	var pairs [][2]int
+	for _, T := range []int{1, 2, 4} {
+		r, m := compareSweep(spec, &out, &jobs, 128, 1, T, 1.0, false,
+			fmt.Sprintf("128B 1-flit T=%d", T))
+		pairs = append(pairs, [2]int{r, m})
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	out.Tables = append(out.Tables, crossoverTable(&out, pairs, " — paper: above 121 for all T"))
+	return out, nil
+}
+
+func runFig17(spec Spec) (Output, error) {
+	out := Output{ID: "fig17", XLabel: "nodes", YLabel: "latency (network cycles)"}
+	var jobs []job
+	var pairs [][2]int
+	for _, line := range lineSizes {
+		for _, R := range []float64{0.1, 0.2, 0.3} {
+			r, m := compareSweep(spec, &out, &jobs, line, 4, 4, R, false,
+				fmt.Sprintf("%dB R=%.1f", line, R))
+			pairs = append(pairs, [2]int{r, m})
+		}
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	out.Tables = append(out.Tables, crossoverTable(&out, pairs,
+		" — paper: rings ahead at all sizes for R<=0.3 (except 16B)"))
+	out.Tables = append(out.Tables, ratioTable(&out, pairs))
+	return out, nil
+}
+
+// ratioTable reports the average mesh/ring latency ratio per pair
+// (>1 means rings faster).
+func ratioTable(out *Output, pairs [][2]int) Table {
+	t := Table{
+		Title:  "Mean mesh/ring latency ratio across common sizes (>1: rings faster)",
+		Header: []string{"configuration", "mesh/ring ratio"},
+	}
+	for _, pr := range pairs {
+		ringS, meshS := out.Series[pr[0]], out.Series[pr[1]]
+		// Compare at ring Xs via interpolation on the mesh curve.
+		sum, n := 0.0, 0
+		for _, rp := range ringS.Points {
+			my, ok := interpAt(meshS, rp.X)
+			if !ok || rp.Y <= 0 {
+				continue
+			}
+			sum += my / rp.Y
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{meshS.Label, fmt.Sprintf("%.2f", sum/float64(n))})
+	}
+	return t
+}
+
+// interpAt linearly interpolates a series at x.
+func interpAt(s Series, x float64) (float64, bool) {
+	pts := s.Points
+	if len(pts) == 0 || x < pts[0].X || x > pts[len(pts)-1].X {
+		return 0, false
+	}
+	for i := 1; i < len(pts); i++ {
+		if x <= pts[i].X {
+			x0, y0 := pts[i-1].X, pts[i-1].Y
+			x1, y1 := pts[i].X, pts[i].Y
+			if x1 == x0 {
+				return y1, true
+			}
+			return y0 + (y1-y0)*(x-x0)/(x1-x0), true
+		}
+	}
+	return pts[len(pts)-1].Y, true
+}
+
+func runFig18(spec Spec) (Output, error) {
+	out := Output{ID: "fig18", XLabel: "nodes", YLabel: "latency (network cycles)"}
+	var jobs []job
+	var pairs [][2]int
+	for _, R := range []float64{0.1, 0.2, 0.3} {
+		r, m := compareSweep(spec, &out, &jobs, 128, 0, 4, R, false,
+			fmt.Sprintf("128B cl-buf R=%.1f", R))
+		pairs = append(pairs, [2]int{r, m})
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	out.Tables = append(out.Tables, crossoverTable(&out, pairs, " — paper: 45+ for R<=0.3"))
+	return out, nil
+}
+
+func runFig21(spec Spec) (Output, error) {
+	out := Output{ID: "fig21", XLabel: "nodes", YLabel: "latency (network cycles)"}
+	var jobs []job
+	var pairs [][2]int
+	for _, line := range fig19Lines {
+		r, m := compareSweep(spec, &out, &jobs, line, 4, 4, 1.0, true,
+			fmt.Sprintf("%dB dbl-global", line))
+		pairs = append(pairs, [2]int{r, m})
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	out.Tables = append(out.Tables, crossoverTable(&out, pairs,
+		" — paper: rings ahead for 128B at all sizes; 32/64B unchanged"))
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+
+	"ringmesh/internal/core"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Latency for 2D meshes (cl-sized, 4-flit and 1-flit buffers)",
+		Caption: "Paper Figure 12: mesh latency grows moderately with size (aggregate and " +
+			"bisection bandwidth scale); buffer size matters — cl-sized buffers give a 5-7x " +
+			"latency increase from 4 to 121 processors, 4-flit 6-8x, 1-flit 9-12x. R=1.0 C=0.04 T=4.",
+		Run: runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Network utilization for meshes with 4-flit buffers",
+		Caption: "Paper Figure 13: mesh network utilization peaks early (9-16 nodes) and " +
+			"decreases monotonically as average distance and blocking grow.",
+		Run: runFig13,
+	})
+}
+
+// bufferLabel names a mesh buffer configuration.
+func bufferLabel(buf int) string {
+	if buf == 0 {
+		return "cl-sized"
+	}
+	return fmt.Sprintf("%d-flit", buf)
+}
+
+func runFig12(spec Spec) (Output, error) {
+	out := Output{ID: "fig12", XLabel: "nodes", YLabel: "latency (network cycles)"}
+	var jobs []job
+	for _, buf := range []int{0, 4, 1} {
+		for _, line := range lineSizes {
+			si := len(out.Series)
+			out.Series = append(out.Series,
+				Series{Label: fmt.Sprintf("%s buffers %dB", bufferLabel(buf), line)})
+			for _, n := range meshLadder() {
+				k := 0
+				for k*k < n {
+					k++
+				}
+				jobs = append(jobs, job{
+					series: si, x: float64(n),
+					build: meshBuilder(spec, k, line, buf, baseWorkload()),
+				})
+			}
+		}
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	out.Tables = append(out.Tables, growthTable(out.Series))
+	return out, nil
+}
+
+// growthTable reports the latency growth factor from the smallest to
+// the largest measured size (the paper quotes 5-7x for cl buffers,
+// 6-8x for 4-flit, 9-12x for 1-flit).
+func growthTable(series []Series) Table {
+	t := Table{
+		Title:  "Latency growth factor, 4 to 121 processors",
+		Header: []string{"series", "growth"},
+	}
+	for _, s := range series {
+		if len(s.Points) < 2 {
+			continue
+		}
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if first.Y <= 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			s.Label,
+			fmt.Sprintf("%.1fx (%.0f -> %.0f cycles)%s", last.Y/first.Y, first.Y, last.Y, flag(last)),
+		})
+	}
+	return t
+}
+
+func meshUtilMetric() func(x float64, r core.Result) Point {
+	return func(x float64, r core.Result) Point {
+		return Point{X: x, Y: 100 * r.MeshUtil, Saturated: r.Saturated, Stalled: r.Stalled}
+	}
+}
+
+func runFig13(spec Spec) (Output, error) {
+	out := Output{ID: "fig13", XLabel: "nodes", YLabel: "network utilization (%)"}
+	var jobs []job
+	for _, line := range lineSizes {
+		si := len(out.Series)
+		out.Series = append(out.Series, Series{Label: fmt.Sprintf("%dB cache line", line)})
+		for _, n := range meshLadder() {
+			k := 0
+			for k*k < n {
+				k++
+			}
+			jobs = append(jobs, job{
+				series: si, x: float64(n),
+				build:  meshBuilder(spec, k, line, 4, baseWorkload()),
+				metric: meshUtilMetric(),
+			})
+		}
+	}
+	pts, err := runJobs(spec, len(out.Series), jobs)
+	if err != nil {
+		return Output{}, err
+	}
+	attach(&out, pts)
+	return out, nil
+}

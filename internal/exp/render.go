@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders an experiment's output as aligned plain text.
+func WriteText(w io.Writer, out Output) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", out.ID, out.Title); err != nil {
+		return err
+	}
+	if out.Caption != "" {
+		if err := writeWrapped(w, out.Caption, 78); err != nil {
+			return err
+		}
+	}
+	for _, s := range out.Series {
+		if _, err := fmt.Fprintf(w, "\n-- %s  [%s vs %s]\n", s.Label, out.YLabel, out.XLabel); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			ci := ""
+			if p.CI > 0 && p.CI < 1e18 {
+				ci = fmt.Sprintf(" ±%.1f", p.CI)
+			}
+			if _, err := fmt.Fprintf(w, "   %6.0f  %10.1f%s%s\n", p.X, p.Y, ci, flag(p)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, t := range out.Tables {
+		if err := writeTable(w, t); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func writeWrapped(w io.Writer, text string, width int) error {
+	words := strings.Fields(text)
+	line := ""
+	for _, word := range words {
+		if line != "" && len(line)+1+len(word) > width {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+			line = word
+			continue
+		}
+		if line == "" {
+			line = word
+		} else {
+			line += " " + word
+		}
+	}
+	if line != "" {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTable(w io.Writer, t Table) error {
+	if _, err := fmt.Fprintf(w, "\n-- %s\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return "   " + strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(rule)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// WriteCSV renders every series of an output as CSV rows:
+// series,x,y,ci,saturated,stalled.
+func WriteCSV(w io.Writer, out Output) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y", "ci", "saturated", "stalled"}); err != nil {
+		return err
+	}
+	for _, s := range out.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Label,
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Y, 'g', -1, 64),
+				strconv.FormatFloat(p.CI, 'g', 6, 64),
+				strconv.FormatBool(p.Saturated),
+				strconv.FormatBool(p.Stalled),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

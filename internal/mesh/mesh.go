@@ -1,0 +1,322 @@
+// Package mesh implements the paper's 2D bi-directional mesh at flit
+// granularity (Section 2.2): one router type — a 5x5 crossbar NIC
+// with four neighbour ports and a local PM port — input FIFO buffers
+// of 1, 4, or cl flits, deterministic e-cube (dimension-order)
+// routing, round-robin output arbitration, and wormhole switching
+// with per-output locks held from head to tail flit.
+//
+// Links are 32-bit uni-directional channels, two per adjacent router
+// pair, moving one flit per cycle. Flow control is the same
+// idealized same-cycle space check used by the ring model: a flit is
+// forwarded only when the downstream input FIFO had room at the start
+// of the cycle.
+package mesh
+
+import (
+	"fmt"
+
+	"ringmesh/internal/node"
+	"ringmesh/internal/packet"
+	"ringmesh/internal/sim"
+	"ringmesh/internal/stats"
+	"ringmesh/internal/topo"
+	"ringmesh/internal/trace"
+)
+
+// Config parameterizes a mesh network.
+type Config struct {
+	// Spec is the square mesh geometry.
+	Spec topo.MeshSpec
+	// LineBytes is the cache line size (fixes cl = 4 + line/4 flits).
+	LineBytes int
+	// BufferFlits is the input FIFO depth per router port in flits:
+	// the paper evaluates 1, 4, and cl. Zero means cl.
+	BufferFlits int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Spec.K < 1 {
+		return fmt.Errorf("mesh: side %d < 1", c.Spec.K)
+	}
+	if c.LineBytes <= 0 {
+		return fmt.Errorf("mesh: LineBytes = %d", c.LineBytes)
+	}
+	if c.BufferFlits < 0 {
+		return fmt.Errorf("mesh: BufferFlits = %d", c.BufferFlits)
+	}
+	return nil
+}
+
+// bufferFlits resolves the configured depth (0 → cl).
+func (c Config) bufferFlits() int {
+	if c.BufferFlits == 0 {
+		return packet.MeshSizing.CacheLineFlits(c.LineBytes)
+	}
+	return c.BufferFlits
+}
+
+// PMPort is what the network needs from each processing module.
+type PMPort interface {
+	node.Injector
+	node.Deliverer
+}
+
+// move is a staged crossbar transfer for one output port.
+type move struct {
+	ok bool
+	in topo.Direction
+	f  packet.Flit
+}
+
+// router is one mesh NIC: a 5x5 crossbar with input buffering.
+type router struct {
+	id     int
+	inputs [topo.NumPorts]*packet.FIFO
+	// outLock / outLockIn implement wormhole: while a packet is in
+	// flight through output o, the crossbar connection from input
+	// outLockIn[o] is held.
+	outLock   [topo.NumPorts]*packet.Packet
+	outLockIn [topo.NumPorts]topo.Direction
+	rr        [topo.NumPorts]int
+	staged    [topo.NumPorts]move
+
+	// Injection register: the packet the PM is currently streaming
+	// into the local input FIFO.
+	injPkt    *packet.Packet
+	injIdx    int
+	stagedInj move
+
+	pm PMPort
+
+	// linkUtil counts flits sent on this router's four outgoing
+	// neighbour links (capacity accrues only for links that exist).
+	linkUtil stats.Utilization
+}
+
+// Network is the mesh interconnect as a sim.Component.
+type Network struct {
+	cfg     Config
+	routers []*router
+	engine  *sim.Engine
+	tracer  *trace.Recorder
+}
+
+// SetTracer attaches an optional lifecycle recorder (nil-safe).
+func (n *Network) SetTracer(t *trace.Recorder) { n.tracer = t }
+
+// New builds the mesh network connecting the given PMs (len must be
+// Spec.PMs()).
+func New(cfg Config, pms []PMPort, engine *sim.Engine) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pms) != cfg.Spec.PMs() {
+		return nil, fmt.Errorf("mesh: %d PMs supplied for %s (%d)",
+			len(pms), cfg.Spec, cfg.Spec.PMs())
+	}
+	n := &Network{cfg: cfg, engine: engine}
+	depth := cfg.bufferFlits()
+	for id := 0; id < cfg.Spec.PMs(); id++ {
+		r := &router{id: id, pm: pms[id]}
+		for p := topo.Direction(0); p < topo.NumPorts; p++ {
+			r.inputs[p] = packet.NewFIFO(depth)
+			r.outLockIn[p] = -1
+		}
+		n.routers = append(n.routers, r)
+	}
+	return n, nil
+}
+
+// Compute implements sim.Component: stage every router's crossbar
+// transfers and PM injections from start-of-cycle state.
+func (n *Network) Compute(now int64) {
+	for _, r := range n.routers {
+		n.computeRouter(r)
+	}
+}
+
+func (n *Network) computeRouter(r *router) {
+	spec := n.cfg.Spec
+	for o := topo.Direction(0); o < topo.NumPorts; o++ {
+		r.staged[o] = move{}
+		var in topo.Direction = -1
+		var f packet.Flit
+		if r.outLock[o] != nil {
+			// Continue the locked worm; bubbles keep the lock.
+			i := r.outLockIn[o]
+			head, ok := r.inputs[i].Peek()
+			if !ok {
+				continue
+			}
+			if head.Pkt != r.outLock[o] {
+				panic(fmt.Sprintf("mesh: router %d would interleave %s into %s",
+					r.id, head.Pkt, r.outLock[o]))
+			}
+			in, f = i, head
+		} else {
+			// Round-robin arbitration among inputs whose head flit is
+			// a packet head routed to this output.
+			for k := 0; k < int(topo.NumPorts); k++ {
+				i := topo.Direction((r.rr[o] + k) % int(topo.NumPorts))
+				head, ok := r.inputs[i].Peek()
+				if !ok || !head.Head() {
+					continue
+				}
+				if spec.Route(r.id, head.Pkt.Dst) != o {
+					continue
+				}
+				in, f = i, head
+				break
+			}
+			if in < 0 {
+				continue
+			}
+		}
+		// Downstream acceptance.
+		if o == topo.Local {
+			// Ejection to the PM always succeeds (perfect sink).
+			r.staged[o] = move{ok: true, in: in, f: f}
+			continue
+		}
+		nb := spec.Neighbor(r.id, o)
+		if nb < 0 {
+			panic(fmt.Sprintf("mesh: router %d routed %s off the edge (%s)",
+				r.id, f.Pkt, o))
+		}
+		if n.routers[nb].inputs[o.Opposite()].Space() >= 1 {
+			r.staged[o] = move{ok: true, in: in, f: f}
+		}
+	}
+
+	// Injection: stream the current packet into the local input FIFO,
+	// one flit per cycle.
+	r.stagedInj = move{}
+	if r.injPkt != nil && r.inputs[topo.Local].Space() >= 1 {
+		r.stagedInj = move{ok: true, f: packet.Flit{Pkt: r.injPkt, Index: r.injIdx}}
+	}
+}
+
+// Commit implements sim.Component.
+func (n *Network) Commit(now int64) {
+	for _, r := range n.routers {
+		n.commitRouter(r, now)
+	}
+}
+
+func (n *Network) commitRouter(r *router, now int64) {
+	spec := n.cfg.Spec
+	for o := topo.Direction(0); o < topo.NumPorts; o++ {
+		if o != topo.Local && spec.Neighbor(r.id, o) >= 0 {
+			r.linkUtil.Tick(1)
+		}
+		mv := r.staged[o]
+		if !mv.ok {
+			continue
+		}
+		r.staged[o] = move{}
+		got := r.inputs[mv.in].Pop()
+		if got != mv.f {
+			panic(fmt.Sprintf("mesh: router %d staged %s but popped %s", r.id, mv.f, got))
+		}
+		// Lock maintenance and round-robin advance.
+		if mv.f.Head() && !mv.f.Tail() {
+			r.outLock[o] = mv.f.Pkt
+			r.outLockIn[o] = mv.in
+		}
+		if mv.f.Tail() {
+			r.outLock[o] = nil
+			r.outLockIn[o] = -1
+		}
+		if mv.f.Head() {
+			r.rr[o] = (int(mv.in) + 1) % int(topo.NumPorts)
+		}
+		// Deposit.
+		if o == topo.Local {
+			if mv.f.Tail() {
+				r.pm.Deliver(mv.f.Pkt, now)
+			}
+		} else {
+			nb := spec.Neighbor(r.id, o)
+			if mv.f.Head() {
+				n.tracer.Record(now, trace.Hop, mv.f.Pkt,
+					fmt.Sprintf("router%d %s", r.id, o))
+			}
+			n.routers[nb].inputs[o.Opposite()].Push(mv.f)
+			r.linkUtil.Busy(1)
+		}
+		n.engine.Progress()
+	}
+
+	// Apply injection, then reload the injection register so a fresh
+	// packet (possibly issued by the PM's commit earlier this tick)
+	// starts streaming next cycle.
+	if r.stagedInj.ok {
+		if r.stagedInj.f.Head() {
+			n.tracer.Record(now, trace.Inject, r.stagedInj.f.Pkt,
+				fmt.Sprintf("router%d local", r.id))
+		}
+		r.inputs[topo.Local].Push(r.stagedInj.f)
+		r.injIdx++
+		if r.injIdx == r.injPkt.Flits {
+			r.injPkt, r.injIdx = nil, 0
+		}
+		r.stagedInj = move{}
+		n.engine.Progress()
+	}
+	if r.injPkt == nil {
+		if p, ok := r.pm.PendingResponse(); ok {
+			r.pm.PopPendingResponse()
+			r.injPkt, r.injIdx = p, 0
+		} else if p, ok := r.pm.PendingRequest(); ok {
+			r.pm.PopPendingRequest()
+			r.injPkt, r.injIdx = p, 0
+		}
+	}
+}
+
+// Utilization returns aggregate inter-router link utilization in
+// [0, 1] — busy link-cycles over available link-cycles, the paper's
+// "percent of maximum network utilization" for meshes.
+func (n *Network) Utilization() float64 {
+	var u stats.Utilization
+	for _, r := range n.routers {
+		u.Merge(&r.linkUtil)
+	}
+	return u.Value()
+}
+
+// ResetUtilization clears link counters (warmup end).
+func (n *Network) ResetUtilization() {
+	for _, r := range n.routers {
+		r.linkUtil.Reset()
+	}
+}
+
+// BufferedFlits counts flits resident in all router input FIFOs plus
+// partially injected packets' remaining flits (for tests and liveness
+// accounting).
+func (n *Network) BufferedFlits() int {
+	total := 0
+	for _, r := range n.routers {
+		for p := topo.Direction(0); p < topo.NumPorts; p++ {
+			total += r.inputs[p].Len()
+		}
+		if r.injPkt != nil {
+			total += r.injPkt.Flits - r.injIdx
+		}
+	}
+	return total
+}
+
+// CheckInvariants returns an error if any buffer exceeds capacity.
+func (n *Network) CheckInvariants() error {
+	for _, r := range n.routers {
+		for p := topo.Direction(0); p < topo.NumPorts; p++ {
+			if r.inputs[p].Len() > r.inputs[p].Cap() {
+				return fmt.Errorf("mesh: router %d input %s over capacity", r.id, p)
+			}
+		}
+	}
+	return nil
+}

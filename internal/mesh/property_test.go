@@ -1,0 +1,130 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ringmesh/internal/packet"
+	"ringmesh/internal/rng"
+	"ringmesh/internal/topo"
+)
+
+// Property: under arbitrary random traffic on arbitrary small meshes
+// and buffer depths, the network delivers every packet exactly once,
+// preserves per-(src,dst,class) order, keeps buffer invariants, and
+// drains completely (e-cube is deadlock-free).
+func TestQuickRandomTrafficConservation(t *testing.T) {
+	f := func(seed uint64, kRaw, bufRaw, nPkts uint8) bool {
+		k := int(kRaw%3) + 2 // 2..4
+		bufs := []int{1, 2, 4, 0}
+		buf := bufs[int(bufRaw)%len(bufs)]
+		lines := []int{16, 32, 64, 128}
+		line := lines[int(seed%uint64(len(lines)))]
+		spec := topo.MustMeshSpec(k)
+		h := newHarness(t, Config{Spec: spec, LineBytes: line, BufferFlits: buf})
+		r := rng.New(seed)
+		total := int(nPkts%30) + 1
+		type key struct {
+			src, dst int
+			resp     bool
+		}
+		order := map[key][]uint64{}
+		for i := 0; i < total; i++ {
+			src := r.Intn(spec.PMs())
+			dst := r.Intn(spec.PMs())
+			var typ packet.Type
+			switch r.Intn(4) {
+			case 0:
+				typ = packet.ReadRequest
+			case 1:
+				typ = packet.ReadResponse
+			case 2:
+				typ = packet.WriteRequest
+			default:
+				typ = packet.WriteResponse
+			}
+			p := &packet.Packet{
+				ID: uint64(i + 1), Type: typ, Src: src, Dst: dst,
+				Flits: packet.MeshSizing.PacketFlits(typ, line),
+			}
+			if typ.IsResponse() {
+				h.pms[src].pendResp = append(h.pms[src].pendResp, p)
+			} else {
+				h.pms[src].pendReq = append(h.pms[src].pendReq, p)
+			}
+			kk := key{src, dst, typ.IsResponse()}
+			order[kk] = append(order[kk], p.ID)
+		}
+		for tick := 0; tick < 40000; tick++ {
+			h.engine.Step()
+			if h.net.CheckInvariants() != nil {
+				return false
+			}
+			done := 0
+			for _, pm := range h.pms {
+				done += len(pm.delivered)
+			}
+			if done == total && h.net.BufferedFlits() == 0 {
+				break
+			}
+		}
+		seen := map[uint64]bool{}
+		got := 0
+		for id, pm := range h.pms {
+			for _, p := range pm.delivered {
+				if p.Dst != id || seen[p.ID] {
+					return false
+				}
+				seen[p.ID] = true
+				got++
+			}
+		}
+		if got != total {
+			return false
+		}
+		pos := map[uint64]int{}
+		for _, pm := range h.pms {
+			for i, p := range pm.delivered {
+				pos[p.ID] = i
+			}
+		}
+		for _, ids := range order {
+			for i := 1; i < len(ids); i++ {
+				if pos[ids[i]] < pos[ids[i-1]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Exhaustive connectivity on a 4x4 mesh with 1-flit buffers (the
+// harshest configuration).
+func TestExhaustiveConnectivityOneFlit(t *testing.T) {
+	spec := topo.MustMeshSpec(4)
+	for src := 0; src < spec.PMs(); src++ {
+		h := newHarness(t, Config{Spec: spec, LineBytes: 32, BufferFlits: 1})
+		for dst := 0; dst < spec.PMs(); dst++ {
+			if dst == src {
+				continue
+			}
+			p := &packet.Packet{ID: uint64(dst + 1), Type: packet.ReadRequest,
+				Src: src, Dst: dst,
+				Flits: packet.MeshSizing.PacketFlits(packet.ReadRequest, 32)}
+			h.pms[src].pendReq = append(h.pms[src].pendReq, p)
+		}
+		h.run(t, 3000)
+		for dst := 0; dst < spec.PMs(); dst++ {
+			if dst == src {
+				continue
+			}
+			if len(h.pms[dst].delivered) != 1 {
+				t.Fatalf("%d -> %d: delivered %d", src, dst, len(h.pms[dst].delivered))
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package plot renders experiment series as ASCII line charts so the
+// paper's figures can be eyeballed directly in a terminal, without
+// any plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Options controls the canvas.
+type Options struct {
+	// Width and Height are the plot area size in characters
+	// (defaults 64x20).
+	Width, Height int
+	// Title, XLabel, YLabel annotate the chart.
+	Title, XLabel, YLabel string
+	// LogX plots the x axis on a log2 scale (the paper's figures 6
+	// and 14 are log-log; latency ranges here stay readable with a
+	// linear y).
+	LogX bool
+}
+
+// markers distinguish up to eight series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the series onto w.
+func Render(w io.Writer, series []Series, opt Options) error {
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	pts := 0
+	for _, s := range series {
+		for i := range s.X {
+			x := s.X[i]
+			if opt.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log2(x)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+			pts++
+		}
+	}
+	if pts == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Always anchor y at zero for latency/utilization charts.
+	if ymin > 0 {
+		ymin = 0
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x := s.X[i]
+			if opt.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log2(x)
+			}
+			cx := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = m
+			}
+		}
+	}
+
+	if opt.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", opt.Title); err != nil {
+			return err
+		}
+	}
+	for r, row := range grid {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%8.1f |%s\n", yv, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	lo, hi := xmin, xmax
+	if opt.LogX {
+		lo, hi = math.Pow(2, xmin), math.Pow(2, xmax)
+	}
+	axis := fmt.Sprintf("%.0f", lo)
+	right := fmt.Sprintf("%.0f%s", hi, xlabelSuffix(opt.XLabel))
+	gap := width - len(axis) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	if _, err := fmt.Fprintf(w, "%8s  %s%s%s\n", "", axis, strings.Repeat(" ", gap), right); err != nil {
+		return err
+	}
+	// Legend.
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "%10c %s\n", markers[si%len(markers)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func xlabelSuffix(label string) string {
+	if label == "" {
+		return ""
+	}
+	return " (" + label + ")"
+}

@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, series []Series, opt Options) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Render(&buf, series, opt); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRenderBasics(t *testing.T) {
+	out := render(t, []Series{
+		{Label: "ring", X: []float64{4, 8, 16, 32}, Y: []float64{10, 20, 40, 80}},
+		{Label: "mesh", X: []float64{4, 16, 36}, Y: []float64{30, 35, 50}},
+	}, Options{Title: "latency", Width: 40, Height: 10, XLabel: "nodes"})
+	if !strings.Contains(out, "latency") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "ring") || !strings.Contains(out, "mesh") {
+		t.Fatal("missing legend entries")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("missing series markers")
+	}
+	if !strings.Contains(out, "(nodes)") {
+		t.Fatal("missing x label")
+	}
+	// 10 plot rows + axis rows + legend.
+	if lines := strings.Count(out, "\n"); lines < 13 {
+		t.Fatalf("too few lines: %d", lines)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := render(t, nil, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out := render(t, []Series{{Label: "p", X: []float64{5}, Y: []float64{7}}}, Options{})
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	s := []Series{{Label: "s", X: []float64{4, 8, 16, 32, 64, 128}, Y: []float64{1, 2, 3, 4, 5, 6}}}
+	lin := render(t, s, Options{Width: 60, Height: 8})
+	log := render(t, s, Options{Width: 60, Height: 8, LogX: true})
+	if lin == log {
+		t.Fatal("log-x should change the layout")
+	}
+	// On a log2 axis the six points are evenly spaced: find marker
+	// columns and check spacing uniformity.
+	cols := markerColumns(log)
+	if len(cols) != 6 {
+		t.Fatalf("expected 6 marker columns, got %v", cols)
+	}
+	d := cols[1] - cols[0]
+	for i := 2; i < len(cols); i++ {
+		got := cols[i] - cols[i-1]
+		if got < d-1 || got > d+1 {
+			t.Fatalf("log spacing not uniform: %v", cols)
+		}
+	}
+}
+
+func markerColumns(out string) []int {
+	seen := map[int]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		idx := strings.IndexByte(line, '|')
+		if idx < 0 {
+			continue
+		}
+		for c := idx + 1; c < len(line); c++ {
+			if line[c] == '*' {
+				seen[c-idx-1] = true
+			}
+		}
+	}
+	cols := make([]int, 0, len(seen))
+	for c := range seen {
+		cols = append(cols, c)
+	}
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			if cols[j] < cols[i] {
+				cols[i], cols[j] = cols[j], cols[i]
+			}
+		}
+	}
+	return cols
+}
+
+func TestRenderIgnoresNonPositiveXOnLog(t *testing.T) {
+	out := render(t, []Series{{Label: "s", X: []float64{0, 4}, Y: []float64{1, 2}}},
+		Options{LogX: true})
+	if !strings.Contains(out, "*") {
+		t.Fatal("positive point should still render")
+	}
+}

@@ -1,0 +1,117 @@
+// Package sim provides the synchronous, two-phase cycle engine that
+// drives the flit-level network models.
+//
+// The paper's simulator works at the register-transfer level on a
+// cycle-by-cycle basis: every network node moves at most one flit per
+// link per clock. We reproduce that with a compute/commit discipline —
+// each tick, every component first stages its transfer decisions from
+// start-of-tick state (Compute), then all components apply them
+// (Commit). This gives every sender a consistent, same-cycle view of
+// receiver buffer occupancy (the idealized flow-control signal of the
+// paper) and makes results independent of component registration
+// order.
+//
+// Multi-rate clocking (paper Section 6, the double-speed global ring)
+// is expressed with per-component periods: the engine ticks at the
+// fastest clock and a component with period k acts every k-th tick.
+package sim
+
+import "fmt"
+
+// Component is one synchronously clocked piece of the system (a
+// network, a set of processing modules).
+type Component interface {
+	// Compute stages this tick's transfers using only start-of-tick
+	// state. It must not mutate state visible to other components.
+	Compute(now int64)
+	// Commit applies the staged transfers.
+	Commit(now int64)
+}
+
+// clocked pairs a component with its clock divider.
+type clocked struct {
+	c      Component
+	period int64
+}
+
+// Engine runs registered components in lockstep.
+type Engine struct {
+	comps []clocked
+	now   int64
+
+	// progress counts flit movements (and any other forward progress)
+	// reported by components; the watchdog uses it to detect
+	// deadlock/livelock.
+	progress     uint64
+	lastProgress uint64
+	lastMoveTick int64
+
+	// WatchdogTicks is the number of consecutive tick without any
+	// reported progress — while packets are known to be in flight —
+	// after which Run returns ErrStalled. Zero disables the watchdog.
+	WatchdogTicks int64
+
+	// InFlight, when non-nil, reports whether any packet is currently
+	// in the system; the watchdog only trips when it returns true.
+	InFlight func() bool
+}
+
+// ErrStalled is returned by Run when the watchdog detects that no
+// flit has moved for WatchdogTicks ticks while packets are in flight —
+// the signature of a routing deadlock or a flow-control livelock.
+var ErrStalled = fmt.Errorf("sim: no progress (deadlock or livelock)")
+
+// Register adds a component with a clock period in ticks (1 = every
+// tick). Registration order does not affect results thanks to the
+// two-phase discipline, but it is preserved for determinism.
+func (e *Engine) Register(c Component, period int64) {
+	if period < 1 {
+		panic("sim: period must be >= 1")
+	}
+	e.comps = append(e.comps, clocked{c: c, period: period})
+}
+
+// Now returns the current tick.
+func (e *Engine) Now() int64 { return e.now }
+
+// Progress is called by components whenever they move a flit (or make
+// any other kind of forward progress the watchdog should count).
+func (e *Engine) Progress() { e.progress++ }
+
+// Step advances the simulation one tick.
+func (e *Engine) Step() {
+	for i := range e.comps {
+		k := &e.comps[i]
+		if e.now%k.period == 0 {
+			k.c.Compute(e.now)
+		}
+	}
+	for i := range e.comps {
+		k := &e.comps[i]
+		if e.now%k.period == 0 {
+			k.c.Commit(e.now)
+		}
+	}
+	if e.progress != e.lastProgress {
+		e.lastProgress = e.progress
+		e.lastMoveTick = e.now
+	}
+	e.now++
+}
+
+// Run advances the simulation by ticks ticks, checking the watchdog.
+func (e *Engine) Run(ticks int64) error {
+	end := e.now + ticks
+	for e.now < end {
+		e.Step()
+		if e.WatchdogTicks > 0 && e.now-e.lastMoveTick > e.WatchdogTicks {
+			if e.InFlight == nil || e.InFlight() {
+				return fmt.Errorf("%w at tick %d", ErrStalled, e.now)
+			}
+			// Idle (no packets anywhere) is fine; reset the clock so
+			// we don't re-check every tick.
+			e.lastMoveTick = e.now
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// recorder logs the ticks at which it computes/commits.
+type recorder struct {
+	engine   *Engine
+	computes []int64
+	commits  []int64
+	moves    bool
+}
+
+func (r *recorder) Compute(now int64) { r.computes = append(r.computes, now) }
+func (r *recorder) Commit(now int64) {
+	r.commits = append(r.commits, now)
+	if r.moves {
+		r.engine.Progress()
+	}
+}
+
+func TestStepOrdering(t *testing.T) {
+	var e Engine
+	a := &recorder{engine: &e}
+	b := &recorder{engine: &e}
+	e.Register(a, 1)
+	e.Register(b, 1)
+	e.Step()
+	e.Step()
+	if len(a.computes) != 2 || len(b.commits) != 2 {
+		t.Fatalf("components not stepped: %v %v", a.computes, b.commits)
+	}
+	if a.computes[0] != 0 || a.computes[1] != 1 {
+		t.Fatalf("compute ticks = %v", a.computes)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("Now = %d", e.Now())
+	}
+}
+
+// phaseChecker asserts that all Computes of a tick happen before any
+// Commit of that tick by recording the last tick each phase ran.
+type phaseChecker struct {
+	t       *testing.T
+	shared  *map[int64]int // tick -> number of computes seen
+	total   int
+	commits int
+}
+
+func (p *phaseChecker) Compute(now int64) { (*p.shared)[now]++ }
+func (p *phaseChecker) Commit(now int64) {
+	if (*p.shared)[now] != p.total {
+		p.t.Fatalf("commit at tick %d saw only %d/%d computes",
+			now, (*p.shared)[now], p.total)
+	}
+	p.commits++
+}
+
+func TestTwoPhaseDiscipline(t *testing.T) {
+	var e Engine
+	seen := map[int64]int{}
+	a := &phaseChecker{t: t, shared: &seen, total: 2}
+	b := &phaseChecker{t: t, shared: &seen, total: 2}
+	e.Register(a, 1)
+	e.Register(b, 1)
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	if a.commits != 5 || b.commits != 5 {
+		t.Fatalf("commits = %d/%d", a.commits, b.commits)
+	}
+}
+
+func TestClockDividers(t *testing.T) {
+	var e Engine
+	fast := &recorder{engine: &e}
+	slow := &recorder{engine: &e}
+	e.Register(fast, 1)
+	e.Register(slow, 2)
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if len(fast.computes) != 10 {
+		t.Fatalf("fast computed %d times", len(fast.computes))
+	}
+	if len(slow.computes) != 5 {
+		t.Fatalf("slow computed %d times, want 5", len(slow.computes))
+	}
+	for _, tick := range slow.computes {
+		if tick%2 != 0 {
+			t.Fatalf("slow component ran at odd tick %d", tick)
+		}
+	}
+}
+
+func TestRegisterBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("period 0 accepted")
+		}
+	}()
+	var e Engine
+	e.Register(&recorder{engine: &e}, 0)
+}
+
+func TestWatchdogTrips(t *testing.T) {
+	var e Engine
+	stuck := &recorder{engine: &e, moves: false}
+	e.Register(stuck, 1)
+	e.WatchdogTicks = 10
+	e.InFlight = func() bool { return true }
+	err := e.Run(100)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("watchdog did not trip: %v", err)
+	}
+}
+
+func TestWatchdogQuietWhenIdle(t *testing.T) {
+	var e Engine
+	idle := &recorder{engine: &e, moves: false}
+	e.Register(idle, 1)
+	e.WatchdogTicks = 10
+	e.InFlight = func() bool { return false }
+	if err := e.Run(100); err != nil {
+		t.Fatalf("watchdog tripped on idle system: %v", err)
+	}
+}
+
+func TestWatchdogQuietWhenProgressing(t *testing.T) {
+	var e Engine
+	busy := &recorder{engine: &e, moves: true}
+	e.Register(busy, 1)
+	e.WatchdogTicks = 5
+	e.InFlight = func() bool { return true }
+	if err := e.Run(100); err != nil {
+		t.Fatalf("watchdog tripped on progressing system: %v", err)
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	var e Engine
+	stuck := &recorder{engine: &e, moves: false}
+	e.Register(stuck, 1)
+	e.InFlight = func() bool { return true }
+	if err := e.Run(1000); err != nil {
+		t.Fatalf("disabled watchdog returned error: %v", err)
+	}
+}
+
+func TestRunAdvancesExactly(t *testing.T) {
+	var e Engine
+	r := &recorder{engine: &e, moves: true}
+	e.Register(r, 1)
+	if err := e.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 7 || len(r.commits) != 7 {
+		t.Fatalf("Now=%d commits=%d", e.Now(), len(r.commits))
+	}
+}

@@ -1,0 +1,175 @@
+// Package trace captures per-packet lifecycle events from the
+// simulators — issue, per-hop movement, exits and delivery — for
+// debugging and for the cmd/ringmesh -trace flag. Recording is
+// optional and nil-safe: a nil *Recorder ignores every call, so the
+// networks trace unconditionally without branching at call sites.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"ringmesh/internal/packet"
+)
+
+// Kind classifies a lifecycle event.
+type Kind uint8
+
+const (
+	// Issue: the processor generated the transaction.
+	Issue Kind = iota
+	// Inject: the packet entered the network fabric.
+	Inject
+	// Hop: a flit (wormhole) or slot (slotted) moved one stage.
+	Hop
+	// Exit: the packet left a ring through an IRI queue.
+	Exit
+	// Deliver: the packet fully arrived at its destination PM.
+	Deliver
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Issue:
+		return "issue"
+	case Inject:
+		return "inject"
+	case Hop:
+		return "hop"
+	case Exit:
+		return "exit"
+	case Deliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded lifecycle step.
+type Event struct {
+	// Tick is the engine tick the event happened at.
+	Tick int64
+	// Kind classifies the event.
+	Kind Kind
+	// Packet identifies the packet (packet.Packet.ID).
+	Packet uint64
+	// Type is the packet's transaction type.
+	Type packet.Type
+	// Src, Dst are the packet's endpoints.
+	Src, Dst int
+	// Where locates the event ("nic3", "router 5 east", ...).
+	Where string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("t=%-6d %-8s #%d %s %d->%d @ %s",
+		e.Tick, e.Kind, e.Packet, e.Type, e.Src, e.Dst, e.Where)
+}
+
+// DefaultCap bounds a Recorder that was not given an explicit
+// capacity (hop events are plentiful).
+const DefaultCap = 1 << 20
+
+// Recorder accumulates events up to a capacity; once full, further
+// events are counted but dropped.
+type Recorder struct {
+	// Cap bounds retained events (0 = DefaultCap).
+	Cap int
+	// OnlyPacket, when non-zero, restricts recording to one packet id.
+	OnlyPacket uint64
+
+	events  []Event
+	dropped int64
+}
+
+// Record appends one event. Nil receivers and filtered packets are
+// ignored.
+func (r *Recorder) Record(tick int64, kind Kind, p *packet.Packet, where string) {
+	if r == nil || p == nil {
+		return
+	}
+	if r.OnlyPacket != 0 && p.ID != r.OnlyPacket {
+		return
+	}
+	max := r.Cap
+	if max <= 0 {
+		max = DefaultCap
+	}
+	if len(r.events) >= max {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{
+		Tick: tick, Kind: kind, Packet: p.ID, Type: p.Type,
+		Src: p.Src, Dst: p.Dst, Where: where,
+	})
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Dropped reports how many events exceeded the capacity.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Timeline returns the events of one packet in order.
+func (r *Recorder) Timeline(packetID uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range r.events {
+		if e.Packet == packetID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PacketIDs returns the distinct packet ids seen, in first-appearance
+// order.
+func (r *Recorder) PacketIDs() []uint64 {
+	if r == nil {
+		return nil
+	}
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, e := range r.events {
+		if !seen[e.Packet] {
+			seen[e.Packet] = true
+			out = append(out, e.Packet)
+		}
+	}
+	return out
+}
+
+// Write renders all events, one per line.
+func (r *Recorder) Write(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, e := range r.events {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d events dropped beyond capacity)\n", r.dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}

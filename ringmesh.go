@@ -1,0 +1,419 @@
+// Package ringmesh is a flit-level, cycle-accurate simulator of
+// hierarchical ring- and mesh-connected shared-memory multiprocessor
+// networks, reproducing Ravindran & Stumm, "A Performance Comparison
+// of Hierarchical Ring- and Mesh-connected Multiprocessor Networks"
+// (HPCA 1997).
+//
+// The package is the stable public facade over the internal simulator
+// packages. Typical use:
+//
+//	res, err := ringmesh.RunRing(ringmesh.RingConfig{
+//	    Topology:  "3:3:8",      // 1 global, 3 intermediate, 3 local rings of 8 PMs
+//	    LineBytes: 32,
+//	    Workload:  ringmesh.PaperWorkload(),
+//	}, ringmesh.DefaultRunOptions())
+//
+// or, for a mesh:
+//
+//	res, err := ringmesh.RunMesh(ringmesh.MeshConfig{
+//	    Nodes:       64,         // 8x8
+//	    LineBytes:   32,
+//	    BufferFlits: 4,
+//	    Workload:    ringmesh.PaperWorkload(),
+//	}, ringmesh.DefaultRunOptions())
+//
+// Results report the paper's metrics: average round-trip access
+// latency in processor clock cycles (with a 95% confidence interval
+// from the batch-means method) and network utilization.
+package ringmesh
+
+import (
+	"fmt"
+
+	"ringmesh/internal/core"
+	"ringmesh/internal/mesh"
+	"ringmesh/internal/ring"
+	"ringmesh/internal/topo"
+	"ringmesh/internal/trace"
+	"ringmesh/internal/workload"
+)
+
+// Workload is the paper's M-MRP synthetic workload: every processor
+// issues cache misses over an access region of its R·(P−1) closest
+// PMs, at rate C misses per cycle, blocking after T outstanding
+// transactions.
+type Workload struct {
+	// R is the access-region fraction in (0, 1]; 1.0 means no
+	// locality (uniform over the machine).
+	R float64
+	// C is the per-cycle cache miss probability (paper: 0.04).
+	C float64
+	// T is the number of outstanding transactions a processor may
+	// have before blocking (paper: 1, 2 or 4).
+	T int
+	// ReadProb is the probability a miss is a read (paper: 0.7).
+	ReadProb float64
+	// Deterministic spaces misses exactly 1/C cycles apart instead of
+	// geometrically (an ablation option; the paper's generator is
+	// stochastic).
+	Deterministic bool
+	// OpenLoop keeps generating misses while the processor is blocked
+	// on its T-window, queueing them at the processor; latency then
+	// counts from generation time. See the workload package for why
+	// the closed-loop default matches the paper's reported behaviour.
+	OpenLoop bool
+}
+
+// PaperWorkload returns the paper's baseline workload: R=1.0, C=0.04,
+// T=4, 70% reads.
+func PaperWorkload() Workload {
+	return Workload{R: 1.0, C: 0.04, T: 4, ReadProb: 0.7}
+}
+
+func (w Workload) internal() workload.MMRP {
+	return workload.MMRP{R: w.R, C: w.C, T: w.T, ReadProb: w.ReadProb,
+		Deterministic: w.Deterministic, OpenLoop: w.OpenLoop}
+}
+
+// RingConfig describes a hierarchical-ring system.
+type RingConfig struct {
+	// Topology in the paper's colon notation, e.g. "2:3:4" (one
+	// global ring of 2 intermediate rings, each with 3 local rings of
+	// 4 PMs) or "12" (a single 12-PM ring). Leave empty and set Nodes
+	// to pick the paper's Table 2 topology automatically.
+	Topology string
+	// Nodes is used when Topology is empty: the number of PMs for
+	// which to derive the best hierarchy.
+	Nodes int
+	// LineBytes is the cache line size: 16, 32, 64 or 128.
+	LineBytes int
+	// DoubleSpeedGlobal clocks the global ring at twice the PM clock
+	// (paper Section 6).
+	DoubleSpeedGlobal bool
+	// SlottedSwitching selects the Hector/NUMAchine slotted-ring
+	// technique instead of the paper's wormhole switching (extension;
+	// see internal/ring/slotted.go).
+	SlottedSwitching bool
+	// Workload is the M-MRP attribute set.
+	Workload Workload
+	// MemLatencyCycles is the memory service time (0 = default 10).
+	MemLatencyCycles int
+	// Seed makes the run reproducible (same seed, same result).
+	Seed uint64
+	// Histogram also collects the latency distribution so the result
+	// can report percentiles (small extra memory cost).
+	Histogram bool
+	// Trace records per-packet lifecycle events (issue, hops, exits,
+	// delivery), retrievable via System.TraceEvents. Tracing large
+	// runs is memory-hungry; see TraceOnlyPacket to narrow it.
+	Trace bool
+	// TraceOnlyPacket restricts tracing to one packet id (0 = all).
+	TraceOnlyPacket uint64
+}
+
+// MeshConfig describes a square 2D bi-directional mesh system.
+type MeshConfig struct {
+	// Nodes is the processor count; it must be a perfect square.
+	Nodes int
+	// LineBytes is the cache line size: 16, 32, 64 or 128.
+	LineBytes int
+	// BufferFlits is the router input buffer depth in flits; the
+	// paper evaluates 1, 4 and cache-line-sized (0 selects cl).
+	BufferFlits int
+	// Workload is the M-MRP attribute set.
+	Workload Workload
+	// MemLatencyCycles is the memory service time (0 = default 10).
+	MemLatencyCycles int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Histogram also collects the latency distribution so the result
+	// can report percentiles (small extra memory cost).
+	Histogram bool
+	// Trace records per-packet lifecycle events (issue, hops, exits,
+	// delivery), retrievable via System.TraceEvents.
+	Trace bool
+	// TraceOnlyPacket restricts tracing to one packet id (0 = all).
+	TraceOnlyPacket uint64
+}
+
+// RunOptions controls the batch-means measurement schedule.
+type RunOptions struct {
+	// WarmupCycles is the discarded first batch.
+	WarmupCycles int64
+	// BatchCycles is the length of each retained batch.
+	BatchCycles int64
+	// Batches is the number of retained batches.
+	Batches int
+}
+
+// DefaultRunOptions returns the schedule used for the paper
+// reproduction: 4000-cycle warmup plus eight 4000-cycle batches.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{WarmupCycles: 4000, BatchCycles: 4000, Batches: 8}
+}
+
+// QuickRunOptions returns a shortened schedule for smoke tests.
+func QuickRunOptions() RunOptions {
+	return RunOptions{WarmupCycles: 1000, BatchCycles: 1000, Batches: 4}
+}
+
+func (o RunOptions) internal() core.RunConfig {
+	return core.RunConfig{
+		WarmupCycles: o.WarmupCycles,
+		BatchCycles:  o.BatchCycles,
+		Batches:      o.Batches,
+	}
+}
+
+// Result reports one simulation run's measurements.
+type Result struct {
+	// LatencyCycles is the average round-trip access latency in PM
+	// clock cycles — the paper's primary metric.
+	LatencyCycles float64
+	// LatencyCI95 is the 95% confidence half-width on LatencyCycles.
+	LatencyCI95 float64
+	// Observations is the number of completed transactions measured
+	// (after warmup).
+	Observations int64
+	// RingUtilization is the per-level link utilization in [0,1]
+	// (index 0 = global ring, last = local rings); nil for meshes.
+	RingUtilization []float64
+	// MeshUtilization is the aggregate inter-router link utilization
+	// in [0,1]; zero for rings.
+	MeshUtilization float64
+	// Throughput is completed transactions per cycle over the whole
+	// system.
+	Throughput float64
+	// Issued, Completed and Local count transactions over the run.
+	Issued, Completed, Local int64
+	// LatencyP50, LatencyP95 and LatencyMax describe the latency
+	// distribution when Histogram was requested (zero otherwise).
+	LatencyP50, LatencyP95, LatencyMax float64
+	// BatchesCorrelated flags strong autocorrelation among batch
+	// means: lengthen BatchCycles before trusting LatencyCI95.
+	BatchesCorrelated bool
+	// Saturated marks runs past the network's saturation point
+	// (processors spent most of their time blocked); the latency is
+	// then a lower bound on open-loop delay.
+	Saturated bool
+	// Stalled marks runs aborted by the no-progress watchdog.
+	Stalled bool
+}
+
+func fromCore(r core.Result) Result {
+	return Result{
+		LatencyCycles:     r.Latency,
+		LatencyCI95:       r.LatencyCI,
+		Observations:      r.Observations,
+		RingUtilization:   r.RingUtil,
+		MeshUtilization:   r.MeshUtil,
+		Throughput:        r.Throughput,
+		Issued:            r.Issued,
+		Completed:         r.Completed,
+		Local:             r.Local,
+		LatencyP50:        r.LatencyP50,
+		LatencyP95:        r.LatencyP95,
+		LatencyMax:        r.LatencyMax,
+		BatchesCorrelated: r.BatchesCorrelated,
+		Saturated:         r.Saturated,
+		Stalled:           r.Stalled,
+	}
+}
+
+// TraceEvent is one recorded packet lifecycle step (see
+// RingConfig.Trace / MeshConfig.Trace).
+type TraceEvent struct {
+	// Tick is the engine tick of the event.
+	Tick int64
+	// Kind is "issue", "inject", "hop", "exit" or "deliver".
+	Kind string
+	// Packet is the packet id; Type its transaction kind.
+	Packet uint64
+	Type   string
+	// Src, Dst are the packet's endpoint PMs.
+	Src, Dst int
+	// Where locates the event (a NIC, IRI or router port).
+	Where string
+}
+
+// System is a constructed simulation that can be advanced manually;
+// most callers use RunRing / RunMesh instead.
+type System struct {
+	inner *core.System
+	rec   *trace.Recorder
+}
+
+// TraceEvents returns the packet lifecycle events recorded so far
+// (nil unless the system was built with Trace set).
+func (s *System) TraceEvents() []TraceEvent {
+	evts := s.rec.Events()
+	if evts == nil {
+		return nil
+	}
+	out := make([]TraceEvent, len(evts))
+	for i, e := range evts {
+		out[i] = TraceEvent{
+			Tick: e.Tick, Kind: e.Kind.String(), Packet: e.Packet,
+			Type: e.Type.String(), Src: e.Src, Dst: e.Dst, Where: e.Where,
+		}
+	}
+	return out
+}
+
+// PacketTimeline returns the recorded events of one packet.
+func (s *System) PacketTimeline(id uint64) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range s.TraceEvents() {
+		if e.Packet == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func recorderFor(on bool, only uint64) *trace.Recorder {
+	if !on {
+		return nil
+	}
+	return &trace.Recorder{OnlyPacket: only}
+}
+
+// NewRingSystem builds a hierarchical-ring multiprocessor.
+func NewRingSystem(cfg RingConfig) (*System, error) {
+	spec, err := ringSpecFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sw := ring.Wormhole
+	if cfg.SlottedSwitching {
+		sw = ring.Slotted
+	}
+	rec := recorderFor(cfg.Trace, cfg.TraceOnlyPacket)
+	sys, err := core.NewRingSystem(core.RingSystemConfig{
+		Net: ring.Config{
+			Spec:              spec,
+			LineBytes:         cfg.LineBytes,
+			DoubleSpeedGlobal: cfg.DoubleSpeedGlobal,
+			Switching:         sw,
+		},
+		Workload:   cfg.Workload.internal(),
+		MemLatency: cfg.MemLatencyCycles,
+		Seed:       cfg.Seed,
+		Histogram:  cfg.Histogram,
+		Tracer:     rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: sys, rec: rec}, nil
+}
+
+func ringSpecFor(cfg RingConfig) (topo.RingSpec, error) {
+	if cfg.Topology != "" {
+		spec, err := topo.ParseRingSpec(cfg.Topology)
+		if err != nil {
+			return topo.RingSpec{}, err
+		}
+		if cfg.Nodes > 0 && spec.PMs() != cfg.Nodes {
+			return topo.RingSpec{}, fmt.Errorf(
+				"ringmesh: topology %s has %d PMs but Nodes = %d",
+				spec, spec.PMs(), cfg.Nodes)
+		}
+		return spec, nil
+	}
+	if cfg.Nodes > 0 {
+		return core.RingTopologyFor(cfg.Nodes, cfg.LineBytes)
+	}
+	return topo.RingSpec{}, fmt.Errorf("ringmesh: set Topology or Nodes")
+}
+
+// NewMeshSystem builds a mesh multiprocessor.
+func NewMeshSystem(cfg MeshConfig) (*System, error) {
+	if !topo.Square(cfg.Nodes) {
+		return nil, fmt.Errorf("ringmesh: mesh needs a square node count, got %d", cfg.Nodes)
+	}
+	rec := recorderFor(cfg.Trace, cfg.TraceOnlyPacket)
+	sys, err := core.NewMeshSystem(core.MeshSystemConfig{
+		Net: mesh.Config{
+			Spec:        topo.MeshForPMs(cfg.Nodes),
+			LineBytes:   cfg.LineBytes,
+			BufferFlits: cfg.BufferFlits,
+		},
+		Workload:   cfg.Workload.internal(),
+		MemLatency: cfg.MemLatencyCycles,
+		Seed:       cfg.Seed,
+		Histogram:  cfg.Histogram,
+		Tracer:     rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: sys, rec: rec}, nil
+}
+
+// Run executes the batch-means schedule and returns the measurements.
+func (s *System) Run(opt RunOptions) (Result, error) {
+	r, err := s.inner.Run(opt.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	return fromCore(r), nil
+}
+
+// StepCycles advances the simulation by n PM clock cycles without
+// collecting batch statistics (useful for warm-starting or tracing).
+func (s *System) StepCycles(n int64) error { return s.inner.StepCycles(n) }
+
+// PMs returns the number of processing modules.
+func (s *System) PMs() int { return s.inner.PMs() }
+
+// Describe returns a one-line summary of the system.
+func (s *System) Describe() string { return s.inner.Describe() }
+
+// RunRing builds and measures a hierarchical-ring system in one call.
+func RunRing(cfg RingConfig, opt RunOptions) (Result, error) {
+	sys, err := NewRingSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.Run(opt)
+}
+
+// RunMesh builds and measures a mesh system in one call.
+func RunMesh(cfg MeshConfig, opt RunOptions) (Result, error) {
+	sys, err := NewMeshSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.Run(opt)
+}
+
+// OptimalRingTopology returns the best hierarchy (paper Table 2
+// methodology) for the given processor count and cache line size, in
+// colon notation.
+func OptimalRingTopology(nodes, lineBytes int) (string, error) {
+	spec, err := core.RingTopologyFor(nodes, lineBytes)
+	if err != nil {
+		return "", err
+	}
+	return spec.String(), nil
+}
+
+// EnumerateRingTopologies lists every admissible hierarchy for the
+// given node count: at most maxLevels levels, internal branching of
+// 2..maxBranch, and leaf rings of at most maxLeaf PMs.
+func EnumerateRingTopologies(nodes, maxLevels, maxBranch, maxLeaf int) []string {
+	specs := topo.EnumerateRingSpecs(nodes, maxLevels, maxBranch, maxLeaf)
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// SingleRingCapacity returns the paper's conservative single-ring
+// node limit for a cache line size (12/8/6/4 for 16/32/64/128 bytes),
+// or 0 for unsupported sizes.
+func SingleRingCapacity(lineBytes int) int {
+	return core.SingleRingCapacity[lineBytes]
+}

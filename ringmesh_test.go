@@ -1,0 +1,307 @@
+package ringmesh
+
+import "testing"
+
+func TestPaperWorkloadDefaults(t *testing.T) {
+	w := PaperWorkload()
+	if w.R != 1.0 || w.C != 0.04 || w.T != 4 || w.ReadProb != 0.7 {
+		t.Fatalf("paper workload = %+v", w)
+	}
+}
+
+func TestRunRingByTopology(t *testing.T) {
+	res, err := RunRing(RingConfig{
+		Topology:  "2:4",
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      1,
+	}, QuickRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyCycles <= 0 || res.Observations == 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	if len(res.RingUtilization) != 2 {
+		t.Fatalf("ring levels = %d", len(res.RingUtilization))
+	}
+}
+
+func TestRunRingByNodes(t *testing.T) {
+	sys, err := NewRingSystem(RingConfig{
+		Nodes:     24,
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.PMs() != 24 {
+		t.Fatalf("PMs = %d", sys.PMs())
+	}
+	if sys.Describe() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestRunRingNeedsTopologyOrNodes(t *testing.T) {
+	_, err := NewRingSystem(RingConfig{LineBytes: 32, Workload: PaperWorkload()})
+	if err == nil {
+		t.Fatal("config without topology or nodes accepted")
+	}
+}
+
+func TestRunMesh(t *testing.T) {
+	res, err := RunMesh(MeshConfig{
+		Nodes:       16,
+		LineBytes:   64,
+		BufferFlits: 4,
+		Workload:    PaperWorkload(),
+		Seed:        1,
+	}, QuickRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyCycles <= 0 || res.MeshUtilization <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestRunMeshRejectsNonSquare(t *testing.T) {
+	_, err := NewMeshSystem(MeshConfig{Nodes: 15, LineBytes: 32, Workload: PaperWorkload()})
+	if err == nil {
+		t.Fatal("non-square mesh accepted")
+	}
+}
+
+func TestStepCycles(t *testing.T) {
+	sys, err := NewRingSystem(RingConfig{Topology: "4", LineBytes: 32,
+		Workload: PaperWorkload(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StepCycles(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalRingTopology(t *testing.T) {
+	s, err := OptimalRingTopology(72, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "3:3:8" {
+		t.Fatalf("topology for 72@32B = %s, want 3:3:8 (paper Table 2)", s)
+	}
+	if _, err := OptimalRingTopology(7, 128); err == nil {
+		t.Fatal("impossible size accepted")
+	}
+}
+
+func TestEnumerateRingTopologies(t *testing.T) {
+	all := EnumerateRingTopologies(24, 3, 3, 12)
+	if len(all) == 0 {
+		t.Fatal("no topologies for 24")
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		seen[s] = true
+	}
+	if !seen["2:12"] {
+		t.Fatalf("2:12 missing: %v", all)
+	}
+}
+
+func TestSingleRingCapacity(t *testing.T) {
+	want := map[int]int{16: 12, 32: 8, 64: 6, 128: 4}
+	for line, cap := range want {
+		if got := SingleRingCapacity(line); got != cap {
+			t.Fatalf("capacity(%d) = %d, want %d", line, got, cap)
+		}
+	}
+	if SingleRingCapacity(48) != 0 {
+		t.Fatal("unsupported line size should return 0")
+	}
+}
+
+func TestSweepRingSizes(t *testing.T) {
+	pts, err := SweepRingSizes(RingConfig{
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      1,
+	}, []int{8, 16, 24}, SweepOptions{Run: QuickRunOptions(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.Topology == "" || p.Result.LatencyCycles <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+		if i > 0 && pts[i-1].Nodes >= p.Nodes {
+			t.Fatal("points not sorted")
+		}
+	}
+}
+
+func TestSweepMeshSizes(t *testing.T) {
+	pts, err := SweepMeshSizes(MeshConfig{
+		LineBytes:   32,
+		BufferFlits: 4,
+		Workload:    PaperWorkload(),
+		Seed:        1,
+	}, []int{4, 16}, SweepOptions{Run: QuickRunOptions(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Nodes != 4 || pts[1].Nodes != 16 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	_, err := SweepMeshSizes(MeshConfig{
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+	}, []int{5}, SweepOptions{Run: QuickRunOptions()})
+	if err == nil {
+		t.Fatal("non-square sweep size accepted")
+	}
+}
+
+func TestDeterministicAcrossAPIs(t *testing.T) {
+	cfg := RingConfig{Topology: "2:3:4", LineBytes: 64, Workload: PaperWorkload(), Seed: 9}
+	a, err := RunRing(cfg, QuickRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRing(cfg, QuickRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LatencyCycles != b.LatencyCycles || a.Issued != b.Issued {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	res, err := RunRing(RingConfig{
+		Topology:  "2:4",
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      1,
+		Histogram: true,
+	}, QuickRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP95 < res.LatencyP50 || res.LatencyMax < res.LatencyP95 {
+		t.Fatalf("percentile ordering wrong: %+v", res)
+	}
+	// The mean must sit within the distribution's range.
+	if res.LatencyCycles > res.LatencyMax {
+		t.Fatalf("mean %v above max %v", res.LatencyCycles, res.LatencyMax)
+	}
+}
+
+func TestOpenLoopWorkload(t *testing.T) {
+	wl := PaperWorkload()
+	wl.OpenLoop = true
+	closed, err := RunRing(RingConfig{Topology: "3:8", LineBytes: 32,
+		Workload: PaperWorkload(), Seed: 1}, QuickRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := RunRing(RingConfig{Topology: "3:8", LineBytes: 32,
+		Workload: wl, Seed: 1}, QuickRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open-loop generation can only add processor-side queueing to the
+	// measured round trip (misses wait for a window slot but their
+	// latency clock starts at generation).
+	if open.LatencyCycles < closed.LatencyCycles {
+		t.Fatalf("open-loop latency %v below closed-loop %v",
+			open.LatencyCycles, closed.LatencyCycles)
+	}
+	if open.Observations == 0 {
+		t.Fatal("open-loop run produced no observations")
+	}
+}
+
+func TestSlottedSwitchingAPI(t *testing.T) {
+	res, err := RunRing(RingConfig{
+		Topology:         "2:3:4",
+		LineBytes:        32,
+		SlottedSwitching: true,
+		Workload:         PaperWorkload(),
+		Seed:             1,
+	}, QuickRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled || res.Observations == 0 {
+		t.Fatalf("slotted run failed: %+v", res)
+	}
+	if len(res.RingUtilization) != 3 {
+		t.Fatalf("slotted ring levels = %d", len(res.RingUtilization))
+	}
+}
+
+func TestTraceAPI(t *testing.T) {
+	sys, err := NewRingSystem(RingConfig{
+		Topology: "2:3", LineBytes: 32,
+		Workload: PaperWorkload(), Seed: 1, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StepCycles(1500); err != nil {
+		t.Fatal(err)
+	}
+	evts := sys.TraceEvents()
+	if len(evts) == 0 {
+		t.Fatal("no trace events")
+	}
+	// Find a delivered packet and check its timeline shape.
+	var delivered uint64
+	for _, e := range evts {
+		if e.Kind == "deliver" {
+			delivered = e.Packet
+			break
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("no delivery traced")
+	}
+	tl := sys.PacketTimeline(delivered)
+	if len(tl) < 2 || tl[len(tl)-1].Kind != "deliver" {
+		t.Fatalf("odd timeline: %+v", tl)
+	}
+	// Untraced systems return nil.
+	sys2, _ := NewRingSystem(RingConfig{Topology: "4", LineBytes: 32,
+		Workload: PaperWorkload(), Seed: 1})
+	if sys2.TraceEvents() != nil {
+		t.Fatal("untraced system returned events")
+	}
+}
+
+func TestTopologyNodesConsistency(t *testing.T) {
+	_, err := NewRingSystem(RingConfig{
+		Topology: "3:3:8", Nodes: 24, LineBytes: 32,
+		Workload: PaperWorkload(),
+	})
+	if err == nil {
+		t.Fatal("contradictory Topology/Nodes accepted")
+	}
+	// Matching values are fine.
+	if _, err := NewRingSystem(RingConfig{
+		Topology: "3:8", Nodes: 24, LineBytes: 32,
+		Workload: PaperWorkload(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

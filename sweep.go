@@ -1,0 +1,103 @@
+package ringmesh
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SweepPoint is one measurement of a size sweep.
+type SweepPoint struct {
+	// Nodes is the processor count of this point.
+	Nodes int
+	// Topology is the ring hierarchy used ("" for meshes).
+	Topology string
+	// Result holds the measurements.
+	Result Result
+}
+
+// SweepOptions controls sweep execution.
+type SweepOptions struct {
+	// Run is the per-point measurement schedule.
+	Run RunOptions
+	// Workers bounds concurrent simulations (0 = 1).
+	Workers int
+}
+
+// DefaultSweepOptions pairs the default run schedule with modest
+// parallelism.
+func DefaultSweepOptions() SweepOptions {
+	return SweepOptions{Run: DefaultRunOptions(), Workers: 4}
+}
+
+// SweepRingSizes measures the base ring configuration at each node
+// count, deriving the hierarchy per size via the Table 2 methodology
+// (base.Topology is ignored). Points come back sorted by size.
+func SweepRingSizes(base RingConfig, sizes []int, opt SweepOptions) ([]SweepPoint, error) {
+	return sweep(sizes, opt, func(n int) (SweepPoint, error) {
+		cfg := base
+		cfg.Topology = ""
+		cfg.Nodes = n
+		spec, err := ringSpecFor(cfg)
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("ringmesh: size %d: %w", n, err)
+		}
+		cfg.Topology = spec.String()
+		res, err := RunRing(cfg, opt.Run)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{Nodes: n, Topology: cfg.Topology, Result: res}, nil
+	})
+}
+
+// SweepMeshSizes measures the base mesh configuration at each (square)
+// node count. Points come back sorted by size.
+func SweepMeshSizes(base MeshConfig, sizes []int, opt SweepOptions) ([]SweepPoint, error) {
+	return sweep(sizes, opt, func(n int) (SweepPoint, error) {
+		cfg := base
+		cfg.Nodes = n
+		res, err := RunMesh(cfg, opt.Run)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{Nodes: n, Result: res}, nil
+	})
+}
+
+func sweep(sizes []int, opt SweepOptions, point func(int) (SweepPoint, error)) ([]SweepPoint, error) {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	var out []SweepPoint
+	for _, n := range sizes {
+		n := n
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			p, err := point(n)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			out = append(out, p)
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Nodes < out[j].Nodes })
+	return out, nil
+}
