@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet race bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A short benchmark pass that exercises the engine fast paths without
+# running the full figure sweeps.
+bench-smoke:
+	$(GO) test -run=NONE -bench='BenchmarkEngineStep|BenchmarkSimRing24|BenchmarkSimMesh16' -benchtime=100x .
+
+# The gate run by .github/workflows/ci.yml.
+ci: vet build race bench-smoke

@@ -15,6 +15,7 @@ import (
 
 	"ringmesh/internal/core"
 	"ringmesh/internal/exp"
+	"ringmesh/internal/sim"
 )
 
 // benchSpec is the reduced schedule used by the figure benchmarks:
@@ -143,4 +144,44 @@ func BenchmarkSimMesh121OneFlit(b *testing.B) {
 		return NewMeshSystem(MeshConfig{Nodes: 121, LineBytes: 128, BufferFlits: 1,
 			Workload: PaperWorkload(), Seed: 1})
 	})
+}
+
+// --- engine micro-benchmarks -------------------------------------------
+
+// benchComp is a minimal component whose work per phase is a single
+// counter bump, so the benchmark isolates the engine's dispatch cost.
+type benchComp struct{ n int }
+
+func (c *benchComp) Compute(now int64) { c.n++ }
+func (c *benchComp) Commit(now int64)  { c.n++ }
+
+// BenchmarkEngineStepUniform measures the per-tick dispatch cost on
+// the uniform fast path (every component at period 1 — the common,
+// non-double-speed configuration).
+func BenchmarkEngineStepUniform(b *testing.B) {
+	var e sim.Engine
+	for i := 0; i < 64; i++ {
+		e.Register(&benchComp{}, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineStepMixed measures the grouped multi-rate path
+// (half the components at period 2, as in a double-speed-global run).
+func BenchmarkEngineStepMixed(b *testing.B) {
+	var e sim.Engine
+	for i := 0; i < 64; i++ {
+		period := int64(1)
+		if i%2 == 1 {
+			period = 2
+		}
+		e.Register(&benchComp{}, period)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
 }

@@ -1,34 +1,38 @@
 // Command ringmesh runs a single interconnect simulation from flags
-// and prints the measured metrics.
+// and prints the measured metrics. The network is selected by its
+// registry name, so the command needs no per-topology code: any model
+// registered with the network package is runnable from here.
 //
 // Examples:
 //
 //	ringmesh -net ring -topo 3:3:8 -line 32
 //	ringmesh -net ring -topo 5:3:4 -line 128 -double-global
 //	ringmesh -net mesh -nodes 64 -line 64 -buf 4 -R 0.3 -T 2
+//	ringmesh -net mesh -topo 8x8 -line 32
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ringmesh/internal/core"
-	"ringmesh/internal/mesh"
-	"ringmesh/internal/ring"
-	"ringmesh/internal/topo"
+	"ringmesh/internal/network"
 	"ringmesh/internal/trace"
 	"ringmesh/internal/workload"
 )
 
 func main() {
 	var (
-		netKind = flag.String("net", "ring", "network type: ring or mesh")
-		topoStr = flag.String("topo", "", "ring topology, e.g. 2:3:4 (default: optimal for -nodes)")
-		nodes   = flag.Int("nodes", 16, "number of processors (mesh: must be a square; ring: used when -topo empty)")
+		netKind = flag.String("net", "ring",
+			"network type: "+strings.Join(network.Names(), " or "))
+		topoStr = flag.String("topo", "", "geometry in the model's notation, e.g. 2:3:4 or 8x8 (default: derived from -nodes)")
+		nodes   = flag.Int("nodes", 16, "number of processors, used when -topo is empty (mesh: must be a square; ring: picks the optimal hierarchy)")
 		line    = flag.Int("line", 32, "cache line size in bytes (16/32/64/128)")
 		buf     = flag.Int("buf", 4, "mesh input buffer depth in flits (0 = cache-line sized)")
 		dbl     = flag.Bool("double-global", false, "clock the global ring at 2x (ring only)")
+		slotted = flag.Bool("slotted", false, "slotted instead of wormhole ring switching (ring only)")
 		rFlag   = flag.Float64("R", 1.0, "access region fraction (locality)")
 		cFlag   = flag.Float64("C", 0.04, "cache miss rate per cycle")
 		tFlag   = flag.Int("T", 4, "outstanding transactions before blocking")
@@ -49,42 +53,27 @@ func main() {
 		rec = &trace.Recorder{OnlyPacket: *tracePk}
 	}
 
-	var (
-		sys *core.System
-		err error
-	)
-	switch *netKind {
-	case "ring":
-		var spec topo.RingSpec
-		if *topoStr != "" {
-			spec, err = topo.ParseRingSpec(*topoStr)
-		} else {
-			spec, err = core.RingTopologyFor(*nodes, *line)
-		}
-		if err != nil {
-			fail(err)
-		}
-		sys, err = core.NewRingSystem(core.RingSystemConfig{
-			Net:        ring.Config{Spec: spec, LineBytes: *line, DoubleSpeedGlobal: *dbl},
-			Workload:   wl,
-			MemLatency: *memLat,
-			Seed:       *seed,
-			Tracer:     rec,
-		})
-	case "mesh":
-		if !topo.Square(*nodes) {
-			fail(fmt.Errorf("mesh needs a square node count, got %d", *nodes))
-		}
-		sys, err = core.NewMeshSystem(core.MeshSystemConfig{
-			Net:        mesh.Config{Spec: topo.MeshForPMs(*nodes), LineBytes: *line, BufferFlits: *buf},
-			Workload:   wl,
-			MemLatency: *memLat,
-			Seed:       *seed,
-			Tracer:     rec,
-		})
-	default:
-		fail(fmt.Errorf("unknown network %q", *netKind))
+	n := *nodes
+	if *topoStr != "" {
+		// The geometry is fully named; don't cross-check the -nodes
+		// default against it.
+		n = 0
 	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Network: *netKind,
+		Net: network.Config{
+			Topology:          *topoStr,
+			Nodes:             n,
+			LineBytes:         *line,
+			BufferFlits:       *buf,
+			DoubleSpeedGlobal: *dbl,
+			SlottedSwitching:  *slotted,
+		},
+		Workload:   wl,
+		MemLatency: *memLat,
+		Seed:       *seed,
+		Tracer:     rec,
+	})
 	if err != nil {
 		fail(err)
 	}

@@ -18,7 +18,7 @@ import (
 	"sort"
 
 	"ringmesh/internal/core"
-	"ringmesh/internal/ring"
+	"ringmesh/internal/network"
 	"ringmesh/internal/topo"
 	"ringmesh/internal/workload"
 )
@@ -34,7 +34,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cap, ok := core.SingleRingCapacity[*line]
+	cap, ok := network.SingleRingCapacity[*line]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "topofind: unsupported line size %dB (use 16/32/64/128)\n", *line)
 		os.Exit(2)
@@ -55,8 +55,9 @@ func main() {
 	for _, s := range specs {
 		sc := scored{spec: s, hops: s.AverageRingHops()}
 		if *simulate {
-			sys, err := core.NewRingSystem(core.RingSystemConfig{
-				Net:      ring.Config{Spec: s, LineBytes: *line},
+			sys, err := core.NewSystem(core.SystemConfig{
+				Network:  "ring",
+				Net:      network.Config{Topology: s.String(), LineBytes: *line},
 				Workload: workload.PaperDefaults(),
 				Seed:     *seed,
 			})

@@ -72,4 +72,39 @@ func main() {
 	}
 	fmt.Println("\nEach 'hop' is one station-to-station link (1 cycle); 'exit' events")
 	fmt.Println("mark transfers into an inter-ring interface's up/down queue.")
+
+	// 3. Instantaneous load via the per-cycle engine hook: sample the
+	// number of flit movements each cycle over a window and bucket the
+	// samples into a coarse activity profile.
+	const window = 2000
+	var samples []uint64
+	sys.OnCycle(func(tick int64, moved uint64) {
+		samples = append(samples, moved)
+	})
+	if err := sys.StepCycles(window); err != nil {
+		log.Fatal(err)
+	}
+	sys.OnCycle(nil)
+	var peak uint64
+	for _, m := range samples {
+		if m > peak {
+			peak = m
+		}
+	}
+	buckets := make([]int, 8)
+	for _, m := range samples {
+		buckets[int(m)*len(buckets)/(int(peak)+1)]++
+	}
+	fmt.Printf("\nper-cycle flit movement over %d cycles (peak %d flits/cycle):\n", len(samples), peak)
+	for i, n := range buckets {
+		lo := i * (int(peak) + 1) / len(buckets)
+		hi := (i+1)*(int(peak)+1)/len(buckets) - 1
+		bar := ""
+		for j := 0; j < 50*n/len(samples); j++ {
+			bar += "#"
+		}
+		fmt.Printf("  %3d-%-3d flits %6.1f%% %s\n", lo, hi, 100*float64(n)/float64(len(samples)), bar)
+	}
+	fmt.Println("\nThe hook fires every engine tick, so instantaneous-load traces")
+	fmt.Println("attach outside the network models instead of instrumenting them.")
 }

@@ -1,0 +1,174 @@
+package ringmesh
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Golden determinism tests: the exact Result values below were
+// captured from the simulator at a pinned seed and must never change
+// unintentionally. Any refactor of the engine, the network models, or
+// the assembly layers has to reproduce these numbers bit for bit —
+// same seed, same throughput and latency — or it has changed the
+// simulation, not just the code. Update the constants only when a
+// deliberate modelling change is made (and say so in DESIGN.md).
+
+const goldenSeed = 12345
+
+// goldenCase pairs a configuration with its pinned result.
+type goldenCase struct {
+	name string
+	cfg  Config
+	opt  RunOptions
+	want Result
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			// The paper's base 3-level hierarchy class (2:3:4 = 24 PMs,
+			// 32B lines) under the default batch-means schedule.
+			name: "ring-2:3:4-32B",
+			cfg: Config{
+				Network:   "ring",
+				Topology:  "2:3:4",
+				LineBytes: 32,
+				Workload:  PaperWorkload(),
+				Seed:      goldenSeed,
+			},
+			opt: DefaultRunOptions(),
+			want: Result{
+				LatencyCycles:   123.063309432494,
+				LatencyCI95:     2.7550844897939086,
+				Observations:    17991,
+				RingUtilization: []float64{0.589875, 0.78043359375, 0.34932708333333334},
+				Throughput:      0.56221875,
+				Issued:          20284,
+				Completed:       20202,
+				Local:           907,
+			},
+		},
+		{
+			// Multi-rate clocking path: double-speed global ring.
+			name: "ring-3:3:8-32B-double-global",
+			cfg: Config{
+				Network:           "ring",
+				Topology:          "3:3:8",
+				LineBytes:         32,
+				DoubleSpeedGlobal: true,
+				Workload:          PaperWorkload(),
+				Seed:              goldenSeed,
+			},
+			opt: QuickRunOptions(),
+			want: Result{
+				LatencyCycles:   231.5663815544812,
+				LatencyCI95:     23.67944838193414,
+				Observations:    2689,
+				RingUtilization: []float64{0.44945833333333335, 0.7091875, 0.28525617283950616},
+				Throughput:      0.67225,
+				Issued:          3560,
+				Completed:       3297,
+				Local:           45,
+				Saturated:       true,
+			},
+		},
+		{
+			// The slotted-ring switching extension.
+			name: "ring-2:3:4-32B-slotted",
+			cfg: Config{
+				Network:          "ring",
+				Topology:         "2:3:4",
+				LineBytes:        32,
+				SlottedSwitching: true,
+				Workload:         PaperWorkload(),
+				Seed:             goldenSeed,
+			},
+			opt: QuickRunOptions(),
+			want: Result{
+				LatencyCycles:   295.7957931638913,
+				LatencyCI95:     67.59497117213412,
+				Observations:    1141,
+				RingUtilization: []float64{0.6856714178544636, 0.7345273818454614, 0.5962990747686921},
+				Throughput:      0.28525,
+				Issued:          1476,
+				Completed:       1387,
+				Local:           57,
+				Saturated:       true,
+			},
+		},
+		{
+			// An 8x8 mesh with the paper's 4-flit buffers.
+			name: "mesh-8x8-32B-4flit",
+			cfg: Config{
+				Network:     "mesh",
+				Nodes:       64,
+				LineBytes:   32,
+				BufferFlits: 4,
+				Workload:    PaperWorkload(),
+				Seed:        goldenSeed,
+			},
+			opt: DefaultRunOptions(),
+			want: Result{
+				LatencyCycles:   229.95306202054368,
+				LatencyCI95:     2.9453719190896175,
+				Observations:    30764,
+				MeshUtilization: 0.35379045758928573,
+				Throughput:      0.961375,
+				Issued:          34761,
+				Completed:       34538,
+				Local:           583,
+				Saturated:       true,
+			},
+		},
+	}
+}
+
+func TestGoldenResults(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got, err := Run(tc.cfg, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("golden mismatch\n got: %#v\nwant: %#v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestGoldenResultsViaDeprecatedAPI pins the thin RunRing/RunMesh
+// wrappers to the same numbers as the generic Run path: the wrappers
+// must be pure repackaging, never a second pipeline.
+func TestGoldenResultsViaDeprecatedAPI(t *testing.T) {
+	base := goldenCases()[0]
+	got, err := RunRing(RingConfig{
+		Topology:  base.cfg.Topology,
+		LineBytes: base.cfg.LineBytes,
+		Workload:  base.cfg.Workload,
+		Seed:      base.cfg.Seed,
+	}, base.opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, base.want) {
+		t.Errorf("RunRing diverged from generic Run\n got: %#v\nwant: %#v", got, base.want)
+	}
+
+	meshCase := goldenCases()[3]
+	gotMesh, err := RunMesh(MeshConfig{
+		Nodes:       meshCase.cfg.Nodes,
+		LineBytes:   meshCase.cfg.LineBytes,
+		BufferFlits: meshCase.cfg.BufferFlits,
+		Workload:    meshCase.cfg.Workload,
+		Seed:        meshCase.cfg.Seed,
+	}, meshCase.opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotMesh, meshCase.want) {
+		t.Errorf("RunMesh diverged from generic Run\n got: %#v\nwant: %#v", gotMesh, meshCase.want)
+	}
+}

@@ -2,6 +2,10 @@
 // runnable system and drives it with the paper's output-analysis
 // method: batch means with the first batch discarded.
 //
+// The assembly is topology-agnostic: NewSystem resolves the requested
+// interconnect through the network registry, so ring, mesh and any
+// future model share one construction, run and measurement pipeline.
+//
 // The registration order is fixed — PMs first, then the network — so
 // within a tick every PM's commit (miss generation, memory service)
 // precedes the network's commit (injection pickup, flit movement,
@@ -13,8 +17,8 @@ import (
 	"fmt"
 
 	"ringmesh/internal/mesh"
+	"ringmesh/internal/network"
 	"ringmesh/internal/node"
-	"ringmesh/internal/packet"
 	"ringmesh/internal/ring"
 	"ringmesh/internal/sim"
 	"ringmesh/internal/stats"
@@ -23,37 +27,98 @@ import (
 	"ringmesh/internal/workload"
 )
 
-// network is the common surface of both interconnect models.
-type network interface {
-	sim.Component
-	BufferedFlits() int
-	ResetUtilization()
-	CheckInvariants() error
-}
-
-// ringNetwork adds the ring-specific per-level utilization metric
-// (implemented by both the wormhole and the slotted ring models).
-type ringNetwork interface {
-	network
-	UtilizationByLevel() []float64
-}
-
 // System is a complete simulated multiprocessor.
 type System struct {
-	engine  *sim.Engine
-	col     *node.Collector
-	pms     []*node.PM
-	net     network
-	ringNet ringNetwork   // non-nil for ring systems
-	meshNet *mesh.Network // non-nil for mesh systems
+	engine *sim.Engine
+	col    *node.Collector
+	pms    []*node.PM
+	net    network.Model
 
 	ticksPerCycle int64
 	pmCount       int
 	workloadC     float64
 	desc          string
+	topology      string
+}
+
+// SystemConfig configures a system over any registered interconnect.
+type SystemConfig struct {
+	// Network is the registered topology name ("ring", "mesh", ...).
+	Network string
+	// Net is the topology-agnostic network configuration.
+	Net network.Config
+	// Workload is the M-MRP attribute set.
+	Workload workload.MMRP
+	// MemLatency is the memory service time in PM cycles (0 = default).
+	MemLatency int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Histogram, when true, also collects the full latency
+	// distribution so Result can report percentiles.
+	Histogram bool
+	// Tracer optionally records per-packet lifecycle events.
+	Tracer *trace.Recorder
+}
+
+// NewSystem builds a multiprocessor around any registered
+// interconnect model.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	plan, err := network.New(cfg.Network, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	pattern, err := plan.Locality(cfg.Workload.R)
+	if err != nil {
+		return nil, err
+	}
+	tpc := plan.TicksPerCycle
+	s := &System{
+		engine:        &sim.Engine{},
+		col:           node.NewCollector(tpc),
+		ticksPerCycle: tpc,
+		pmCount:       plan.PMs,
+		workloadC:     cfg.Workload.C,
+		desc:          plan.Description,
+		topology:      plan.Topology,
+	}
+	if cfg.Histogram {
+		s.col.Hist = stats.NewHistogram(4096, 1)
+	}
+	ports := make([]network.Port, plan.PMs)
+	for id := 0; id < plan.PMs; id++ {
+		pm, err := node.NewPM(id, node.Config{
+			Workload:   cfg.Workload,
+			Pattern:    pattern,
+			Sizing:     plan.Sizing,
+			LineBytes:  cfg.Net.LineBytes,
+			MemLatency: cfg.MemLatency,
+			Seed:       cfg.Seed,
+			Tracer:     cfg.Tracer,
+		}, s.col)
+		if err != nil {
+			return nil, err
+		}
+		s.pms = append(s.pms, pm)
+		ports[id] = pm
+		s.engine.Register(pm, tpc)
+	}
+	model, err := plan.Build(ports, s.engine)
+	if err != nil {
+		return nil, err
+	}
+	model.SetTracer(cfg.Tracer)
+	s.net = model
+	s.engine.Register(model, 1)
+	s.engine.InFlight = s.col.InFlight
+	return s, nil
 }
 
 // RingSystemConfig configures a hierarchical-ring system.
+//
+// Deprecated: use SystemConfig with Network "ring".
 type RingSystemConfig struct {
 	// Net is the network configuration (topology, line size, global
 	// ring speed).
@@ -72,73 +137,32 @@ type RingSystemConfig struct {
 }
 
 // NewRingSystem builds a hierarchical-ring multiprocessor.
+//
+// Deprecated: thin wrapper over NewSystem; use the generic API.
 func NewRingSystem(cfg RingSystemConfig) (*System, error) {
 	if err := cfg.Net.Validate(); err != nil {
 		return nil, err
 	}
-	if err := cfg.Workload.Validate(); err != nil {
-		return nil, err
-	}
-	p := cfg.Net.Spec.PMs()
-	pattern, err := workload.NewRingLocality(p, cfg.Workload.R)
-	if err != nil {
-		return nil, err
-	}
-	tpc := cfg.Net.TicksPerCycle()
-	s := &System{
-		engine:        &sim.Engine{},
-		col:           node.NewCollector(tpc),
-		ticksPerCycle: tpc,
-		pmCount:       p,
-		workloadC:     cfg.Workload.C,
-		desc:          fmt.Sprintf("ring %s cl=%dB (%s)", cfg.Net.Spec, cfg.Net.LineBytes, cfg.Net.Switching),
-	}
-	if cfg.Histogram {
-		s.col.Hist = stats.NewHistogram(4096, 1)
-	}
-	ports := make([]ring.PMPort, p)
-	for id := 0; id < p; id++ {
-		pm, err := node.NewPM(id, node.Config{
-			Workload:   cfg.Workload,
-			Pattern:    pattern,
-			Sizing:     packet.RingSizing,
-			LineBytes:  cfg.Net.LineBytes,
-			MemLatency: cfg.MemLatency,
-			Seed:       cfg.Seed,
-			Tracer:     cfg.Tracer,
-		}, s.col)
-		if err != nil {
-			return nil, err
-		}
-		s.pms = append(s.pms, pm)
-		ports[id] = pm
-		s.engine.Register(pm, tpc)
-	}
-	var net ringNetwork
-	var err2 error
-	if cfg.Net.Switching == ring.Slotted {
-		sn, err := ring.NewSlotted(cfg.Net, ports, s.engine)
-		if err == nil {
-			sn.SetTracer(cfg.Tracer)
-		}
-		net, err2 = sn, err
-	} else {
-		wn, err := ring.New(cfg.Net, ports, s.engine)
-		if err == nil {
-			wn.SetTracer(cfg.Tracer)
-		}
-		net, err2 = wn, err
-	}
-	if err2 != nil {
-		return nil, err2
-	}
-	s.net, s.ringNet = net, net
-	s.engine.Register(net, 1)
-	s.engine.InFlight = s.col.InFlight
-	return s, nil
+	return NewSystem(SystemConfig{
+		Network: "ring",
+		Net: network.Config{
+			Topology:          cfg.Net.Spec.String(),
+			LineBytes:         cfg.Net.LineBytes,
+			DoubleSpeedGlobal: cfg.Net.DoubleSpeedGlobal,
+			SlottedSwitching:  cfg.Net.Switching == ring.Slotted,
+			IRIQueueFlits:     cfg.Net.IRIQueueFlits,
+		},
+		Workload:   cfg.Workload,
+		MemLatency: cfg.MemLatency,
+		Seed:       cfg.Seed,
+		Histogram:  cfg.Histogram,
+		Tracer:     cfg.Tracer,
+	})
 }
 
 // MeshSystemConfig configures a 2D mesh system.
+//
+// Deprecated: use SystemConfig with Network "mesh".
 type MeshSystemConfig struct {
 	// Net is the network configuration (geometry, line size, buffer
 	// depth).
@@ -157,69 +181,46 @@ type MeshSystemConfig struct {
 }
 
 // NewMeshSystem builds a mesh multiprocessor.
+//
+// Deprecated: thin wrapper over NewSystem; use the generic API.
 func NewMeshSystem(cfg MeshSystemConfig) (*System, error) {
 	if err := cfg.Net.Validate(); err != nil {
 		return nil, err
 	}
-	if err := cfg.Workload.Validate(); err != nil {
-		return nil, err
-	}
-	p := cfg.Net.Spec.PMs()
-	pattern, err := workload.NewMeshLocality(cfg.Net.Spec, cfg.Workload.R)
-	if err != nil {
-		return nil, err
-	}
-	s := &System{
-		engine:        &sim.Engine{},
-		col:           node.NewCollector(1),
-		ticksPerCycle: 1,
-		pmCount:       p,
-		workloadC:     cfg.Workload.C,
-		desc:          fmt.Sprintf("mesh %s cl=%dB buf=%d", cfg.Net.Spec, cfg.Net.LineBytes, cfg.Net.BufferFlits),
-	}
-	if cfg.Histogram {
-		s.col.Hist = stats.NewHistogram(4096, 1)
-	}
-	ports := make([]mesh.PMPort, p)
-	for id := 0; id < p; id++ {
-		pm, err := node.NewPM(id, node.Config{
-			Workload:   cfg.Workload,
-			Pattern:    pattern,
-			Sizing:     packet.MeshSizing,
-			LineBytes:  cfg.Net.LineBytes,
-			MemLatency: cfg.MemLatency,
-			Seed:       cfg.Seed,
-			Tracer:     cfg.Tracer,
-		}, s.col)
-		if err != nil {
-			return nil, err
-		}
-		s.pms = append(s.pms, pm)
-		ports[id] = pm
-		s.engine.Register(pm, 1)
-	}
-	net, err := mesh.New(cfg.Net, ports, s.engine)
-	if err != nil {
-		return nil, err
-	}
-	net.SetTracer(cfg.Tracer)
-	s.net, s.meshNet = net, net
-	s.engine.Register(net, 1)
-	s.engine.InFlight = s.col.InFlight
-	return s, nil
+	return NewSystem(SystemConfig{
+		Network: "mesh",
+		Net: network.Config{
+			Nodes:       cfg.Net.Spec.PMs(),
+			LineBytes:   cfg.Net.LineBytes,
+			BufferFlits: cfg.Net.BufferFlits,
+		},
+		Workload:   cfg.Workload,
+		MemLatency: cfg.MemLatency,
+		Seed:       cfg.Seed,
+		Histogram:  cfg.Histogram,
+		Tracer:     cfg.Tracer,
+	})
 }
 
 // Collector exposes the measurement aggregate (for tests).
 func (s *System) Collector() *node.Collector { return s.col }
 
-// Engine exposes the cycle engine (for tests).
+// Engine exposes the cycle engine (for tests and for attaching the
+// per-cycle observability hook; see sim.Engine.OnCycle).
 func (s *System) Engine() *sim.Engine { return s.engine }
+
+// Network exposes the interconnect model (for tests).
+func (s *System) Network() network.Model { return s.net }
 
 // PMs returns the number of processing modules.
 func (s *System) PMs() int { return s.pmCount }
 
 // Describe returns a human-readable system summary.
 func (s *System) Describe() string { return s.desc }
+
+// Topology returns the canonical resolved topology (e.g. "3:3:8",
+// "8x8").
+func (s *System) Topology() string { return s.topology }
 
 // StepCycles advances the system by n PM clock cycles.
 func (s *System) StepCycles(n int64) error {
@@ -268,10 +269,10 @@ type Result struct {
 	// Observations is the number of completed transactions measured.
 	Observations int64
 	// RingUtil is per-level ring utilization in [0,1] (index 0 =
-	// global ring); nil for mesh systems.
+	// global ring); nil for flat (mesh-like) systems.
 	RingUtil []float64
 	// MeshUtil is aggregate inter-router link utilization in [0,1];
-	// zero for ring systems.
+	// zero for hierarchical (ring-like) systems.
 	MeshUtil float64
 	// Throughput is completed transactions per PM cycle (whole
 	// system).
@@ -350,12 +351,9 @@ func (s *System) Run(rc RunConfig) (Result, error) {
 		res.LatencyP95 = s.col.Hist.Quantile(0.95)
 		res.LatencyMax = s.col.Hist.Quantile(1)
 	}
-	if s.ringNet != nil {
-		res.RingUtil = s.ringNet.UtilizationByLevel()
-	}
-	if s.meshNet != nil {
-		res.MeshUtil = s.meshNet.Utilization()
-	}
+	ns := s.net.Stats()
+	res.RingUtil = ns.PerLevel
+	res.MeshUtil = ns.Link
 	// Saturation: compare realized generation (remote + local misses)
 	// against the configured rate C over the whole run including
 	// warmup.
@@ -369,35 +367,16 @@ func (s *System) Run(rc RunConfig) (Result, error) {
 	return res, nil
 }
 
-// RingTopologyFor returns the hierarchy the paper's Table 2 would use
-// for the given PM count and cache line size: leaf rings hold at most
-// the single-ring capacity for that line size (12/8/6/4 PMs for
-// 16/32/64/128-byte lines, Section 3) and every internal ring carries
-// at most three children (the bisection-bandwidth limit the paper
-// derives). Among the admissible hierarchies it picks the one with
-// the fewest levels, then the smallest average hop distance.
+// RingTopologyFor returns the paper's Table 2 hierarchy for the given
+// PM count and cache line size.
+//
+// Deprecated: use network.RingTopologyFor.
 func RingTopologyFor(pms, lineBytes int) (topo.RingSpec, error) {
-	cap, ok := SingleRingCapacity[lineBytes]
-	if !ok {
-		return topo.RingSpec{}, fmt.Errorf("core: unsupported line size %dB", lineBytes)
-	}
-	specs := topo.EnumerateRingSpecs(pms, 4, 3, cap)
-	if len(specs) == 0 {
-		return topo.RingSpec{}, fmt.Errorf("core: no admissible ring topology for %d PMs at %dB lines", pms, lineBytes)
-	}
-	best := specs[0]
-	bestHops := best.AverageRingHops()
-	for _, s := range specs[1:] {
-		h := s.AverageRingHops()
-		if s.NumLevels() < best.NumLevels() ||
-			(s.NumLevels() == best.NumLevels() && h < bestHops) {
-			best, bestHops = s, h
-		}
-	}
-	return best, nil
+	return network.RingTopologyFor(pms, lineBytes)
 }
 
 // SingleRingCapacity is the paper's conservative single-ring node
-// count per cache line size (Section 3, Figure 6): the largest ring
-// that shows almost no degradation under R=1.0, C=0.04, T=4.
-var SingleRingCapacity = map[int]int{16: 12, 32: 8, 64: 6, 128: 4}
+// count per cache line size (Section 3, Figure 6).
+//
+// Deprecated: use network.SingleRingCapacity.
+var SingleRingCapacity = network.SingleRingCapacity

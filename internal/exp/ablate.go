@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"ringmesh/internal/core"
-	"ringmesh/internal/mesh"
-	"ringmesh/internal/ring"
+	"ringmesh/internal/network"
 	"ringmesh/internal/topo"
 )
 
@@ -50,22 +49,12 @@ func runAblateMemLat(spec Spec) (Output, error) {
 	for _, ml := range []int{1, 5, 10, 20, 40} {
 		ml := ml
 		jobs = append(jobs,
-			job{series: ri, x: float64(ml), build: func() (*core.System, error) {
-				return core.NewRingSystem(core.RingSystemConfig{
-					Net:        ring.Config{Spec: ringSpec, LineBytes: 32},
-					Workload:   baseWorkload(),
-					MemLatency: ml,
-					Seed:       spec.Seed,
-				})
-			}},
-			job{series: mi, x: float64(ml), build: func() (*core.System, error) {
-				return core.NewMeshSystem(core.MeshSystemConfig{
-					Net:        mesh.Config{Spec: topo.MustMeshSpec(8), LineBytes: 32, BufferFlits: 4},
-					Workload:   baseWorkload(),
-					MemLatency: ml,
-					Seed:       spec.Seed,
-				})
-			}},
+			job{series: ri, x: float64(ml), build: netBuilder(spec, "ring",
+				network.Config{Topology: ringSpec.String(), LineBytes: 32},
+				baseWorkload(), ml)},
+			job{series: mi, x: float64(ml), build: netBuilder(spec, "mesh",
+				network.Config{Nodes: 64, LineBytes: 32, BufferFlits: 4},
+				baseWorkload(), ml)},
 		)
 	}
 	pts, err := runJobs(spec, len(out.Series), jobs)
@@ -128,15 +117,13 @@ func runAblateIRIQ(spec Spec) (Output, error) {
 	for _, q := range []int{3, 6, 12, 24} {
 		q := q
 		mk := func(r float64) func() (*core.System, error) {
-			return func() (*core.System, error) {
-				wl := baseWorkload()
-				wl.R = r
-				return core.NewRingSystem(core.RingSystemConfig{
-					Net:      ring.Config{Spec: ringSpec, LineBytes: 32, IRIQueueFlits: q},
-					Workload: wl,
-					Seed:     spec.Seed,
-				})
-			}
+			wl := baseWorkload()
+			wl.R = r
+			return netBuilder(spec, "ring", network.Config{
+				Topology:      ringSpec.String(),
+				LineBytes:     32,
+				IRIQueueFlits: q,
+			}, wl, 0)
 		}
 		jobs = append(jobs,
 			job{series: si, x: float64(q), build: mk(1.0)},
@@ -170,21 +157,22 @@ func runAblateSwitching(spec Spec) (Output, error) {
 		topo.MustRingSpec(8), topo.MustRingSpec(2, 8), topo.MustRingSpec(3, 8),
 		topo.MustRingSpec(2, 3, 8), topo.MustRingSpec(3, 3, 8),
 	}
-	for _, sw := range []ring.Switching{ring.Wormhole, ring.Slotted} {
+	for _, slotted := range []bool{false, true} {
+		name := "wormhole"
+		if slotted {
+			name = "slotted"
+		}
 		for _, line := range []int{16, 128} {
 			si := len(out.Series)
-			out.Series = append(out.Series, Series{Label: fmt.Sprintf("%s %dB", sw, line)})
+			out.Series = append(out.Series, Series{Label: fmt.Sprintf("%s %dB", name, line)})
 			for _, ts := range sweeps {
-				ts, sw, line := ts, sw, line
 				jobs = append(jobs, job{
 					series: si, x: float64(ts.PMs()),
-					build: func() (*core.System, error) {
-						return core.NewRingSystem(core.RingSystemConfig{
-							Net:      ring.Config{Spec: ts, LineBytes: line, Switching: sw},
-							Workload: baseWorkload(),
-							Seed:     spec.Seed,
-						})
-					},
+					build: netBuilder(spec, "ring", network.Config{
+						Topology:         ts.String(),
+						LineBytes:        line,
+						SlottedSwitching: slotted,
+					}, baseWorkload(), 0),
 				})
 			}
 		}

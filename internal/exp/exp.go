@@ -11,8 +11,7 @@ import (
 	"sync"
 
 	"ringmesh/internal/core"
-	"ringmesh/internal/mesh"
-	"ringmesh/internal/ring"
+	"ringmesh/internal/network"
 	"ringmesh/internal/topo"
 	"ringmesh/internal/workload"
 )
@@ -222,26 +221,36 @@ func runJobs(spec Spec, nSeries int, jobs []job) ([][]Point, error) {
 	return points, nil
 }
 
-// ringBuilder returns a constructor for one ring simulation point.
-func ringBuilder(spec Spec, topology topo.RingSpec, line int, wl workload.MMRP, dbl bool) func() (*core.System, error) {
+// netBuilder returns a constructor for one simulation point over any
+// registered interconnect; every experiment's points flow through it.
+func netBuilder(spec Spec, name string, net network.Config, wl workload.MMRP, memLat int) func() (*core.System, error) {
 	return func() (*core.System, error) {
-		return core.NewRingSystem(core.RingSystemConfig{
-			Net:      ring.Config{Spec: topology, LineBytes: line, DoubleSpeedGlobal: dbl},
-			Workload: wl,
-			Seed:     spec.Seed,
+		return core.NewSystem(core.SystemConfig{
+			Network:    name,
+			Net:        net,
+			Workload:   wl,
+			MemLatency: memLat,
+			Seed:       spec.Seed,
 		})
 	}
 }
 
+// ringBuilder returns a constructor for one ring simulation point.
+func ringBuilder(spec Spec, topology topo.RingSpec, line int, wl workload.MMRP, dbl bool) func() (*core.System, error) {
+	return netBuilder(spec, "ring", network.Config{
+		Topology:          topology.String(),
+		LineBytes:         line,
+		DoubleSpeedGlobal: dbl,
+	}, wl, 0)
+}
+
 // meshBuilder returns a constructor for one mesh simulation point.
 func meshBuilder(spec Spec, k, line, buf int, wl workload.MMRP) func() (*core.System, error) {
-	return func() (*core.System, error) {
-		return core.NewMeshSystem(core.MeshSystemConfig{
-			Net:      mesh.Config{Spec: topo.MustMeshSpec(k), LineBytes: line, BufferFlits: buf},
-			Workload: wl,
-			Seed:     spec.Seed,
-		})
-	}
+	return netBuilder(spec, "mesh", network.Config{
+		Nodes:       k * k,
+		LineBytes:   line,
+		BufferFlits: buf,
+	}, wl, 0)
 }
 
 // sweepTopologyFor returns a hierarchy for n PMs at the given line
@@ -251,10 +260,10 @@ func meshBuilder(spec Spec, k, line, buf int, wl workload.MMRP) func() (*core.Sy
 // figures extend beyond Table 2's largest entries) the branching
 // bound is widened until a hierarchy exists.
 func sweepTopologyFor(n, line int) (topo.RingSpec, error) {
-	if spec, err := core.RingTopologyFor(n, line); err == nil {
+	if spec, err := network.RingTopologyFor(n, line); err == nil {
 		return spec, nil
 	}
-	cap := core.SingleRingCapacity[line]
+	cap := network.SingleRingCapacity[line]
 	if cap == 0 {
 		return topo.RingSpec{}, fmt.Errorf("exp: unsupported line size %dB", line)
 	}

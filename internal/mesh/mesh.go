@@ -197,14 +197,21 @@ func (n *Network) computeRouter(r *router) {
 	}
 }
 
-// Commit implements sim.Component.
+// Commit implements sim.Component. Progress is reported to the
+// engine once per commit (batched) rather than per flit movement.
 func (n *Network) Commit(now int64) {
+	moved := 0
 	for _, r := range n.routers {
-		n.commitRouter(r, now)
+		moved += n.commitRouter(r, now)
+	}
+	if moved > 0 {
+		n.engine.ProgressN(moved)
 	}
 }
 
-func (n *Network) commitRouter(r *router, now int64) {
+// commitRouter applies one router's staged transfers and returns the
+// number of flit movements (crossbar transfers plus injections).
+func (n *Network) commitRouter(r *router, now int64) (moved int) {
 	spec := n.cfg.Spec
 	for o := topo.Direction(0); o < topo.NumPorts; o++ {
 		if o != topo.Local && spec.Neighbor(r.id, o) >= 0 {
@@ -245,7 +252,7 @@ func (n *Network) commitRouter(r *router, now int64) {
 			n.routers[nb].inputs[o.Opposite()].Push(mv.f)
 			r.linkUtil.Busy(1)
 		}
-		n.engine.Progress()
+		moved++
 	}
 
 	// Apply injection, then reload the injection register so a fresh
@@ -262,7 +269,7 @@ func (n *Network) commitRouter(r *router, now int64) {
 			r.injPkt, r.injIdx = nil, 0
 		}
 		r.stagedInj = move{}
-		n.engine.Progress()
+		moved++
 	}
 	if r.injPkt == nil {
 		if p, ok := r.pm.PendingResponse(); ok {
@@ -273,6 +280,7 @@ func (n *Network) commitRouter(r *router, now int64) {
 			r.injPkt, r.injIdx = p, 0
 		}
 	}
+	return moved
 }
 
 // Utilization returns aggregate inter-router link utilization in

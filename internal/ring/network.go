@@ -263,15 +263,20 @@ func (n *Network) Compute(now int64) {
 	}
 }
 
-// Commit implements sim.Component.
+// Commit implements sim.Component. Progress is reported to the
+// engine once per commit (batched) rather than per station.
 func (n *Network) Commit(now int64) {
+	moved := 0
 	for _, st := range n.stations {
 		if !st.active(now) {
 			continue
 		}
 		if st.commit(now) {
-			n.engine.Progress()
+			moved++
 		}
+	}
+	if moved > 0 {
+		n.engine.ProgressN(moved)
 	}
 	for _, nc := range n.nics {
 		if nc.st.active(now) {

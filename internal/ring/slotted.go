@@ -198,6 +198,10 @@ type SlottedNetwork struct {
 	nics     []*snic
 	engine   *sim.Engine
 	tracer   *trace.Recorder
+
+	// moved accumulates the commit phase's progress events so they can
+	// be reported to the engine in one batched ProgressN call.
+	moved int
 }
 
 // SetTracer attaches an optional lifecycle recorder (nil-safe).
@@ -322,13 +326,19 @@ func (n *SlottedNetwork) buildRing(level, base int, pms []PMPort, parentLower *s
 // timing).
 func (n *SlottedNetwork) Compute(now int64) {}
 
-// Commit implements sim.Component.
+// Commit implements sim.Component. Progress is accumulated in
+// n.moved by the slot/injection helpers and reported to the engine
+// once per commit (batched).
 func (n *SlottedNetwork) Commit(now int64) {
+	n.moved = 0
 	for _, r := range n.rings {
 		if now%r.slotPeriod != 0 {
 			continue
 		}
 		n.stepRing(r, now)
+	}
+	if n.moved > 0 {
+		n.engine.ProgressN(n.moved)
 	}
 	for _, nc := range n.nics {
 		if now%nc.period == 0 {
@@ -369,7 +379,7 @@ func (n *SlottedNetwork) processOccupied(r *sring, st *sstation, slot *sslot, no
 		slot.pkt = nil
 		r.occupied--
 		st.exitPM(p, now)
-		n.engine.Progress()
+		n.moved++
 		return
 	}
 	// Store-and-forward: injectable on the next ring from the next
@@ -377,7 +387,7 @@ func (n *SlottedNetwork) processOccupied(r *sring, st *sstation, slot *sslot, no
 	if st.exitQueueFor(p).push(p, now+1) {
 		slot.pkt = nil
 		r.occupied--
-		n.engine.Progress()
+		n.moved++
 	}
 	// Queue full: NACK — the packet rides on and retries next lap.
 }
@@ -394,7 +404,7 @@ func (n *SlottedNetwork) tryInject(r *sring, st *sstation, slot *sslot, now int6
 		slot.pkt = head
 		r.occupied++
 		n.tracer.Record(now, trace.Inject, head, st.name)
-		n.engine.Progress()
+		n.moved++
 		return
 	}
 }

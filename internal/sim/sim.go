@@ -14,6 +14,10 @@
 // Multi-rate clocking (paper Section 6, the double-speed global ring)
 // is expressed with per-component periods: the engine ticks at the
 // fastest clock and a component with period k acts every k-th tick.
+// Components are bucketed by period at registration time, so the hot
+// loop pays one divisibility check per distinct period instead of one
+// per component — and none at all on the uniform fast path (every
+// period 1, which is every non-double-speed configuration).
 package sim
 
 import "fmt"
@@ -28,16 +32,20 @@ type Component interface {
 	Commit(now int64)
 }
 
-// clocked pairs a component with its clock divider.
-type clocked struct {
-	c      Component
+// schedule groups the components sharing one clock period. Groups are
+// kept in first-seen order; within a group, registration order.
+type schedule struct {
 	period int64
+	comps  []Component
+	due    bool // staged by Step: period divides the current tick
 }
 
 // Engine runs registered components in lockstep.
 type Engine struct {
-	comps []clocked
-	now   int64
+	flat   []Component // every component in registration order (fast path)
+	groups []schedule  // components bucketed by period (mixed-rate path)
+	mixed  bool        // true once any period > 1 is registered
+	now    int64
 
 	// progress counts flit movements (and any other forward progress)
 	// reported by components; the watchdog uses it to detect
@@ -46,7 +54,7 @@ type Engine struct {
 	lastProgress uint64
 	lastMoveTick int64
 
-	// WatchdogTicks is the number of consecutive tick without any
+	// WatchdogTicks is the number of consecutive ticks without any
 	// reported progress — while packets are known to be in flight —
 	// after which Run returns ErrStalled. Zero disables the watchdog.
 	WatchdogTicks int64
@@ -54,6 +62,14 @@ type Engine struct {
 	// InFlight, when non-nil, reports whether any packet is currently
 	// in the system; the watchdog only trips when it returns true.
 	InFlight func() bool
+
+	// OnCycle, when non-nil, is called once at the end of every tick
+	// with the tick just completed and the number of progress events
+	// (flit movements) reported during it. It is the engine-level
+	// observability hook: per-cycle metrics (instantaneous load,
+	// activity traces) attach here instead of inside the network
+	// models.
+	OnCycle func(now int64, moved uint64)
 }
 
 // ErrStalled is returned by Run when the watchdog detects that no
@@ -62,13 +78,25 @@ type Engine struct {
 var ErrStalled = fmt.Errorf("sim: no progress (deadlock or livelock)")
 
 // Register adds a component with a clock period in ticks (1 = every
-// tick). Registration order does not affect results thanks to the
-// two-phase discipline, but it is preserved for determinism.
+// tick). Thanks to the two-phase discipline, results do not depend on
+// registration order among components of one period; across periods
+// the engine preserves first-seen group order, then registration
+// order within a group.
 func (e *Engine) Register(c Component, period int64) {
 	if period < 1 {
 		panic("sim: period must be >= 1")
 	}
-	e.comps = append(e.comps, clocked{c: c, period: period})
+	e.flat = append(e.flat, c)
+	if period > 1 {
+		e.mixed = true
+	}
+	for i := range e.groups {
+		if e.groups[i].period == period {
+			e.groups[i].comps = append(e.groups[i].comps, c)
+			return
+		}
+	}
+	e.groups = append(e.groups, schedule{period: period, comps: []Component{c}})
 }
 
 // Now returns the current tick.
@@ -78,25 +106,51 @@ func (e *Engine) Now() int64 { return e.now }
 // any other kind of forward progress the watchdog should count).
 func (e *Engine) Progress() { e.progress++ }
 
+// ProgressN reports n progress events at once. Components that move
+// many flits per commit batch their reporting through this instead of
+// one Progress call per flit.
+func (e *Engine) ProgressN(n int) { e.progress += uint64(n) }
+
 // Step advances the simulation one tick.
 func (e *Engine) Step() {
-	for i := range e.comps {
-		k := &e.comps[i]
-		if e.now%k.period == 0 {
-			k.c.Compute(e.now)
+	now := e.now
+	before := e.progress
+	if !e.mixed {
+		// Uniform fast path: every component runs every tick; no
+		// divisibility checks, no group indirection.
+		for _, c := range e.flat {
+			c.Compute(now)
 		}
-	}
-	for i := range e.comps {
-		k := &e.comps[i]
-		if e.now%k.period == 0 {
-			k.c.Commit(e.now)
+		for _, c := range e.flat {
+			c.Commit(now)
+		}
+	} else {
+		for i := range e.groups {
+			g := &e.groups[i]
+			g.due = now%g.period == 0
+			if g.due {
+				for _, c := range g.comps {
+					c.Compute(now)
+				}
+			}
+		}
+		for i := range e.groups {
+			g := &e.groups[i]
+			if g.due {
+				for _, c := range g.comps {
+					c.Commit(now)
+				}
+			}
 		}
 	}
 	if e.progress != e.lastProgress {
 		e.lastProgress = e.progress
-		e.lastMoveTick = e.now
+		e.lastMoveTick = now
 	}
 	e.now++
+	if e.OnCycle != nil {
+		e.OnCycle(now, e.progress-before)
+	}
 }
 
 // Run advances the simulation by ticks ticks, checking the watchdog.

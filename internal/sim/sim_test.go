@@ -160,3 +160,134 @@ func TestRunAdvancesExactly(t *testing.T) {
 		t.Fatalf("Now=%d commits=%d", e.Now(), len(r.commits))
 	}
 }
+
+func TestMixedPeriodGrouping(t *testing.T) {
+	var e Engine
+	fast := &recorder{engine: &e}
+	slow := &recorder{engine: &e}
+	third := &recorder{engine: &e}
+	e.Register(fast, 1)
+	e.Register(slow, 2)
+	e.Register(third, 3)
+	for i := 0; i < 12; i++ {
+		e.Step()
+	}
+	if len(fast.computes) != 12 || len(slow.computes) != 6 || len(third.computes) != 4 {
+		t.Fatalf("computes = %d/%d/%d, want 12/6/4",
+			len(fast.computes), len(slow.computes), len(third.computes))
+	}
+	for _, tick := range third.computes {
+		if tick%3 != 0 {
+			t.Fatalf("period-3 component ran at tick %d", tick)
+		}
+	}
+}
+
+func TestProgressN(t *testing.T) {
+	var e Engine
+	e.ProgressN(3)
+	e.Progress()
+	e.ProgressN(2)
+	if e.progress != 6 {
+		t.Fatalf("progress = %d, want 6", e.progress)
+	}
+}
+
+func TestWatchdogQuietWithBatchedProgress(t *testing.T) {
+	var e Engine
+	c := &recorder{engine: &e}
+	e.Register(c, 1)
+	e.WatchdogTicks = 5
+	e.InFlight = func() bool { return true }
+	// Report progress in batches rather than via Progress(): the
+	// watchdog must count it the same way.
+	e.OnCycle = func(now int64, moved uint64) {}
+	done := 0
+	batched := componentFunc{commit: func(now int64) { e.ProgressN(4); done++ }}
+	e.Register(&batched, 1)
+	if err := e.Run(100); err != nil {
+		t.Fatalf("watchdog tripped despite batched progress: %v", err)
+	}
+	if done != 100 {
+		t.Fatalf("batched component committed %d times", done)
+	}
+}
+
+// componentFunc adapts closures to Component for tests.
+type componentFunc struct {
+	compute func(now int64)
+	commit  func(now int64)
+}
+
+func (c *componentFunc) Compute(now int64) {
+	if c.compute != nil {
+		c.compute(now)
+	}
+}
+func (c *componentFunc) Commit(now int64) {
+	if c.commit != nil {
+		c.commit(now)
+	}
+}
+
+func TestOnCycleHook(t *testing.T) {
+	var e Engine
+	moves := 0
+	mover := &componentFunc{commit: func(now int64) {
+		if now%2 == 0 {
+			e.ProgressN(3)
+			moves += 3
+		}
+	}}
+	e.Register(mover, 1)
+	var ticks []int64
+	var moved []uint64
+	e.OnCycle = func(now int64, m uint64) {
+		ticks = append(ticks, now)
+		moved = append(moved, m)
+	}
+	for i := 0; i < 4; i++ {
+		e.Step()
+	}
+	if len(ticks) != 4 || ticks[0] != 0 || ticks[3] != 3 {
+		t.Fatalf("OnCycle ticks = %v", ticks)
+	}
+	want := []uint64{3, 0, 3, 0}
+	for i := range want {
+		if moved[i] != want[i] {
+			t.Fatalf("OnCycle moved = %v, want %v", moved, want)
+		}
+	}
+	if moves != 6 {
+		t.Fatalf("moves = %d", moves)
+	}
+}
+
+// TestUniformFastPathEquivalence runs the same component set through a
+// uniform engine and a mixed engine whose extra component has period 1
+// forced through the grouped path, checking the schedules agree.
+func TestUniformFastPathEquivalence(t *testing.T) {
+	run := func(forceMixed bool) []int64 {
+		var e Engine
+		r := &recorder{engine: &e}
+		e.Register(r, 1)
+		if forceMixed {
+			// A period-2 bystander pushes the engine onto the grouped
+			// path without touching r's schedule.
+			e.Register(&componentFunc{}, 2)
+		}
+		for i := 0; i < 6; i++ {
+			e.Step()
+		}
+		return r.computes
+	}
+	fast, grouped := run(false), run(true)
+	if len(fast) != len(grouped) {
+		t.Fatalf("schedules diverge: %v vs %v", fast, grouped)
+	}
+	for i := range fast {
+		if fast[i] != grouped[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, fast, grouped)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package topo
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // MeshSpec describes a square 2D bi-directional mesh of K x K
 // processing modules with no end-around connections (paper Section
@@ -24,6 +28,23 @@ func MustMeshSpec(k int) MeshSpec {
 		panic(err)
 	}
 	return m
+}
+
+// ParseMeshSpec parses the "KxK" notation produced by String.
+func ParseMeshSpec(s string) (MeshSpec, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 2 {
+		return MeshSpec{}, fmt.Errorf("topo: bad mesh spec %q (want \"KxK\")", s)
+	}
+	a, errA := strconv.Atoi(parts[0])
+	b, errB := strconv.Atoi(parts[1])
+	if errA != nil || errB != nil {
+		return MeshSpec{}, fmt.Errorf("topo: bad mesh spec %q (want \"KxK\")", s)
+	}
+	if a != b {
+		return MeshSpec{}, fmt.Errorf("topo: mesh spec %q is not square", s)
+	}
+	return NewMeshSpec(a)
 }
 
 // MeshForPMs returns the smallest square mesh holding at least pms

@@ -5,9 +5,11 @@
 // (HPCA 1997).
 //
 // The package is the stable public facade over the internal simulator
-// packages. Typical use:
+// packages. Interconnects are selected by name through a topology
+// registry, so one configuration type drives every model:
 //
-//	res, err := ringmesh.RunRing(ringmesh.RingConfig{
+//	res, err := ringmesh.Run(ringmesh.Config{
+//	    Network:   "ring",
 //	    Topology:  "3:3:8",      // 1 global, 3 intermediate, 3 local rings of 8 PMs
 //	    LineBytes: 32,
 //	    Workload:  ringmesh.PaperWorkload(),
@@ -15,12 +17,18 @@
 //
 // or, for a mesh:
 //
-//	res, err := ringmesh.RunMesh(ringmesh.MeshConfig{
+//	res, err := ringmesh.Run(ringmesh.Config{
+//	    Network:     "mesh",
 //	    Nodes:       64,         // 8x8
 //	    LineBytes:   32,
 //	    BufferFlits: 4,
 //	    Workload:    ringmesh.PaperWorkload(),
 //	}, ringmesh.DefaultRunOptions())
+//
+// Topologies lists the registered network names. The earlier
+// per-topology entry points (RunRing, RunMesh, NewRingSystem,
+// NewMeshSystem, SweepRingSizes, SweepMeshSizes) remain as thin
+// deprecated wrappers over the generic API.
 //
 // Results report the paper's metrics: average round-trip access
 // latency in processor clock cycles (with a 95% confidence interval
@@ -28,11 +36,8 @@
 package ringmesh
 
 import (
-	"fmt"
-
 	"ringmesh/internal/core"
-	"ringmesh/internal/mesh"
-	"ringmesh/internal/ring"
+	"ringmesh/internal/network"
 	"ringmesh/internal/topo"
 	"ringmesh/internal/trace"
 	"ringmesh/internal/workload"
@@ -75,7 +80,58 @@ func (w Workload) internal() workload.MMRP {
 		Deterministic: w.Deterministic, OpenLoop: w.OpenLoop}
 }
 
+// Config describes a system over any registered interconnect. Network
+// selects the model by registry name; the topology-specific fields
+// (Topology, BufferFlits, DoubleSpeedGlobal, ...) are interpreted by
+// the model that understands them and ignored by the others, the same
+// contract as a shared command-line flag set.
+type Config struct {
+	// Network is the registered interconnect name; see Topologies().
+	// Built-ins: "ring" (hierarchical rings) and "mesh" (square 2D
+	// bi-directional mesh).
+	Network string
+	// Topology names the geometry in the model's own notation — the
+	// paper's colon notation for rings ("2:3:4", "12"), "KxK" for
+	// meshes. Leave empty and set Nodes to derive it from the
+	// processor count.
+	Topology string
+	// Nodes is the processor count, used when Topology is empty (and
+	// cross-checked against it otherwise). Ring hierarchies derive
+	// via the paper's Table 2 methodology; meshes must be square.
+	Nodes int
+	// LineBytes is the cache line size: 16, 32, 64 or 128.
+	LineBytes int
+	// BufferFlits is the router input buffer depth in flits (mesh
+	// only); the paper evaluates 1, 4 and cache-line-sized (0
+	// selects cl).
+	BufferFlits int
+	// DoubleSpeedGlobal clocks the global ring at twice the PM clock
+	// (ring only; paper Section 6).
+	DoubleSpeedGlobal bool
+	// SlottedSwitching selects the Hector/NUMAchine slotted-ring
+	// technique instead of the paper's wormhole switching (ring only;
+	// see internal/ring/slotted.go).
+	SlottedSwitching bool
+	// Workload is the M-MRP attribute set.
+	Workload Workload
+	// MemLatencyCycles is the memory service time (0 = default 10).
+	MemLatencyCycles int
+	// Seed makes the run reproducible (same seed, same result).
+	Seed uint64
+	// Histogram also collects the latency distribution so the result
+	// can report percentiles (small extra memory cost).
+	Histogram bool
+	// Trace records per-packet lifecycle events (issue, hops, exits,
+	// delivery), retrievable via System.TraceEvents. Tracing large
+	// runs is memory-hungry; see TraceOnlyPacket to narrow it.
+	Trace bool
+	// TraceOnlyPacket restricts tracing to one packet id (0 = all).
+	TraceOnlyPacket uint64
+}
+
 // RingConfig describes a hierarchical-ring system.
+//
+// Deprecated: use Config with Network "ring".
 type RingConfig struct {
 	// Topology in the paper's colon notation, e.g. "2:3:4" (one
 	// global ring of 2 intermediate rings, each with 3 local rings of
@@ -111,7 +167,27 @@ type RingConfig struct {
 	TraceOnlyPacket uint64
 }
 
+// generic converts to the topology-agnostic configuration.
+func (cfg RingConfig) generic() Config {
+	return Config{
+		Network:           "ring",
+		Topology:          cfg.Topology,
+		Nodes:             cfg.Nodes,
+		LineBytes:         cfg.LineBytes,
+		DoubleSpeedGlobal: cfg.DoubleSpeedGlobal,
+		SlottedSwitching:  cfg.SlottedSwitching,
+		Workload:          cfg.Workload,
+		MemLatencyCycles:  cfg.MemLatencyCycles,
+		Seed:              cfg.Seed,
+		Histogram:         cfg.Histogram,
+		Trace:             cfg.Trace,
+		TraceOnlyPacket:   cfg.TraceOnlyPacket,
+	}
+}
+
 // MeshConfig describes a square 2D bi-directional mesh system.
+//
+// Deprecated: use Config with Network "mesh".
 type MeshConfig struct {
 	// Nodes is the processor count; it must be a perfect square.
 	Nodes int
@@ -134,6 +210,22 @@ type MeshConfig struct {
 	Trace bool
 	// TraceOnlyPacket restricts tracing to one packet id (0 = all).
 	TraceOnlyPacket uint64
+}
+
+// generic converts to the topology-agnostic configuration.
+func (cfg MeshConfig) generic() Config {
+	return Config{
+		Network:          "mesh",
+		Nodes:            cfg.Nodes,
+		LineBytes:        cfg.LineBytes,
+		BufferFlits:      cfg.BufferFlits,
+		Workload:         cfg.Workload,
+		MemLatencyCycles: cfg.MemLatencyCycles,
+		Seed:             cfg.Seed,
+		Histogram:        cfg.Histogram,
+		Trace:            cfg.Trace,
+		TraceOnlyPacket:  cfg.TraceOnlyPacket,
+	}
 }
 
 // RunOptions controls the batch-means measurement schedule.
@@ -220,8 +312,7 @@ func fromCore(r core.Result) Result {
 	}
 }
 
-// TraceEvent is one recorded packet lifecycle step (see
-// RingConfig.Trace / MeshConfig.Trace).
+// TraceEvent is one recorded packet lifecycle step (see Config.Trace).
 type TraceEvent struct {
 	// Tick is the engine tick of the event.
 	Tick int64
@@ -237,7 +328,7 @@ type TraceEvent struct {
 }
 
 // System is a constructed simulation that can be advanced manually;
-// most callers use RunRing / RunMesh instead.
+// most callers use Run instead.
 type System struct {
 	inner *core.System
 	rec   *trace.Recorder
@@ -278,23 +369,19 @@ func recorderFor(on bool, only uint64) *trace.Recorder {
 	return &trace.Recorder{OnlyPacket: only}
 }
 
-// NewRingSystem builds a hierarchical-ring multiprocessor.
-func NewRingSystem(cfg RingConfig) (*System, error) {
-	spec, err := ringSpecFor(cfg)
-	if err != nil {
-		return nil, err
-	}
-	sw := ring.Wormhole
-	if cfg.SlottedSwitching {
-		sw = ring.Slotted
-	}
+// NewSystem builds a multiprocessor over the interconnect named by
+// cfg.Network, resolved through the topology registry.
+func NewSystem(cfg Config) (*System, error) {
 	rec := recorderFor(cfg.Trace, cfg.TraceOnlyPacket)
-	sys, err := core.NewRingSystem(core.RingSystemConfig{
-		Net: ring.Config{
-			Spec:              spec,
+	sys, err := core.NewSystem(core.SystemConfig{
+		Network: cfg.Network,
+		Net: network.Config{
+			Topology:          cfg.Topology,
+			Nodes:             cfg.Nodes,
 			LineBytes:         cfg.LineBytes,
+			BufferFlits:       cfg.BufferFlits,
 			DoubleSpeedGlobal: cfg.DoubleSpeedGlobal,
-			Switching:         sw,
+			SlottedSwitching:  cfg.SlottedSwitching,
 		},
 		Workload:   cfg.Workload.internal(),
 		MemLatency: cfg.MemLatencyCycles,
@@ -308,47 +395,18 @@ func NewRingSystem(cfg RingConfig) (*System, error) {
 	return &System{inner: sys, rec: rec}, nil
 }
 
-func ringSpecFor(cfg RingConfig) (topo.RingSpec, error) {
-	if cfg.Topology != "" {
-		spec, err := topo.ParseRingSpec(cfg.Topology)
-		if err != nil {
-			return topo.RingSpec{}, err
-		}
-		if cfg.Nodes > 0 && spec.PMs() != cfg.Nodes {
-			return topo.RingSpec{}, fmt.Errorf(
-				"ringmesh: topology %s has %d PMs but Nodes = %d",
-				spec, spec.PMs(), cfg.Nodes)
-		}
-		return spec, nil
-	}
-	if cfg.Nodes > 0 {
-		return core.RingTopologyFor(cfg.Nodes, cfg.LineBytes)
-	}
-	return topo.RingSpec{}, fmt.Errorf("ringmesh: set Topology or Nodes")
+// NewRingSystem builds a hierarchical-ring multiprocessor.
+//
+// Deprecated: thin wrapper over NewSystem with Network "ring".
+func NewRingSystem(cfg RingConfig) (*System, error) {
+	return NewSystem(cfg.generic())
 }
 
 // NewMeshSystem builds a mesh multiprocessor.
+//
+// Deprecated: thin wrapper over NewSystem with Network "mesh".
 func NewMeshSystem(cfg MeshConfig) (*System, error) {
-	if !topo.Square(cfg.Nodes) {
-		return nil, fmt.Errorf("ringmesh: mesh needs a square node count, got %d", cfg.Nodes)
-	}
-	rec := recorderFor(cfg.Trace, cfg.TraceOnlyPacket)
-	sys, err := core.NewMeshSystem(core.MeshSystemConfig{
-		Net: mesh.Config{
-			Spec:        topo.MeshForPMs(cfg.Nodes),
-			LineBytes:   cfg.LineBytes,
-			BufferFlits: cfg.BufferFlits,
-		},
-		Workload:   cfg.Workload.internal(),
-		MemLatency: cfg.MemLatencyCycles,
-		Seed:       cfg.Seed,
-		Histogram:  cfg.Histogram,
-		Tracer:     rec,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &System{inner: sys, rec: rec}, nil
+	return NewSystem(cfg.generic())
 }
 
 // Run executes the batch-means schedule and returns the measurements.
@@ -364,35 +422,59 @@ func (s *System) Run(opt RunOptions) (Result, error) {
 // collecting batch statistics (useful for warm-starting or tracing).
 func (s *System) StepCycles(n int64) error { return s.inner.StepCycles(n) }
 
+// OnCycle registers f to be called once at the end of every engine
+// tick with the tick just completed and the number of flit movements
+// it produced — the per-cycle observability hook for instantaneous
+// load traces. Pass nil to detach. Note that ticks run faster than PM
+// cycles on double-speed-global configurations.
+func (s *System) OnCycle(f func(tick int64, flitsMoved uint64)) {
+	s.inner.Engine().OnCycle = f
+}
+
 // PMs returns the number of processing modules.
 func (s *System) PMs() int { return s.inner.PMs() }
 
 // Describe returns a one-line summary of the system.
 func (s *System) Describe() string { return s.inner.Describe() }
 
-// RunRing builds and measures a hierarchical-ring system in one call.
-func RunRing(cfg RingConfig, opt RunOptions) (Result, error) {
-	sys, err := NewRingSystem(cfg)
+// Topology returns the canonical resolved geometry — colon notation
+// for rings ("3:3:8"), "KxK" for meshes — even when the system was
+// configured by node count alone.
+func (s *System) Topology() string { return s.inner.Topology() }
+
+// Run builds and measures a system over any registered interconnect
+// in one call.
+func Run(cfg Config, opt RunOptions) (Result, error) {
+	sys, err := NewSystem(cfg)
 	if err != nil {
 		return Result{}, err
 	}
 	return sys.Run(opt)
 }
 
-// RunMesh builds and measures a mesh system in one call.
-func RunMesh(cfg MeshConfig, opt RunOptions) (Result, error) {
-	sys, err := NewMeshSystem(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return sys.Run(opt)
+// RunRing builds and measures a hierarchical-ring system in one call.
+//
+// Deprecated: thin wrapper over Run with Network "ring".
+func RunRing(cfg RingConfig, opt RunOptions) (Result, error) {
+	return Run(cfg.generic(), opt)
 }
+
+// RunMesh builds and measures a mesh system in one call.
+//
+// Deprecated: thin wrapper over Run with Network "mesh".
+func RunMesh(cfg MeshConfig, opt RunOptions) (Result, error) {
+	return Run(cfg.generic(), opt)
+}
+
+// Topologies returns the names of all registered interconnect models,
+// sorted; valid values for Config.Network.
+func Topologies() []string { return network.Names() }
 
 // OptimalRingTopology returns the best hierarchy (paper Table 2
 // methodology) for the given processor count and cache line size, in
 // colon notation.
 func OptimalRingTopology(nodes, lineBytes int) (string, error) {
-	spec, err := core.RingTopologyFor(nodes, lineBytes)
+	spec, err := network.RingTopologyFor(nodes, lineBytes)
 	if err != nil {
 		return "", err
 	}
@@ -415,5 +497,5 @@ func EnumerateRingTopologies(nodes, maxLevels, maxBranch, maxLeaf int) []string 
 // node limit for a cache line size (12/8/6/4 for 16/32/64/128 bytes),
 // or 0 for unsupported sizes.
 func SingleRingCapacity(lineBytes int) int {
-	return core.SingleRingCapacity[lineBytes]
+	return network.SingleRingCapacity[lineBytes]
 }

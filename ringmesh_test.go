@@ -1,6 +1,9 @@
 package ringmesh
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestPaperWorkloadDefaults(t *testing.T) {
 	w := PaperWorkload()
@@ -303,5 +306,82 @@ func TestTopologyNodesConsistency(t *testing.T) {
 		Workload: PaperWorkload(),
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTopologiesListsBuiltins(t *testing.T) {
+	names := Topologies()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	if !found["ring"] || !found["mesh"] {
+		t.Fatalf("Topologies() = %v, want ring and mesh", names)
+	}
+}
+
+func TestGenericNewSystemResolvesTopology(t *testing.T) {
+	ringSys, err := NewSystem(Config{Network: "ring", Nodes: 72, LineBytes: 32,
+		Workload: PaperWorkload(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ringSys.Topology(); got != "3:3:8" {
+		t.Errorf("ring Topology() = %q, want 3:3:8", got)
+	}
+	meshSys, err := NewSystem(Config{Network: "mesh", Nodes: 64, LineBytes: 32,
+		BufferFlits: 4, Workload: PaperWorkload(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := meshSys.Topology(); got != "8x8" {
+		t.Errorf("mesh Topology() = %q, want 8x8", got)
+	}
+}
+
+func TestGenericRunUnknownNetwork(t *testing.T) {
+	_, err := Run(Config{Network: "torus", Nodes: 64, LineBytes: 32,
+		Workload: PaperWorkload()}, QuickRunOptions())
+	if err == nil {
+		t.Fatal("expected an error for an unregistered network")
+	}
+	if !strings.Contains(err.Error(), "torus") {
+		t.Errorf("error %q does not name the unknown topology", err)
+	}
+}
+
+func TestGenericSweepRecordsMeshTopology(t *testing.T) {
+	pts, err := SweepSizes(Config{Network: "mesh", LineBytes: 32, BufferFlits: 4,
+		Workload: PaperWorkload(), Seed: 3}, []int{4, 9}, SweepOptions{Run: QuickRunOptions(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{4: "2x2", 9: "3x3"}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.Topology != want[p.Nodes] {
+			t.Errorf("size %d Topology = %q, want %q", p.Nodes, p.Topology, want[p.Nodes])
+		}
+	}
+}
+
+func TestSweepReportsAllErrors(t *testing.T) {
+	// Every point fails (non-square mesh sizes). Scheduling stops once
+	// a failure has been recorded, so between one and all of the
+	// errors surface — every one that does must be in the joined
+	// message, each labelled with its size.
+	_, err := SweepSizes(Config{Network: "mesh", LineBytes: 32,
+		Workload: PaperWorkload()}, []int{5, 7}, SweepOptions{Run: QuickRunOptions(), Workers: 2})
+	if err == nil {
+		t.Fatal("expected errors for non-square mesh sizes")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "size 5") && !strings.Contains(msg, "size 7") {
+		t.Errorf("joined error %q names no failing point", msg)
+	}
+	if !strings.Contains(msg, "square") {
+		t.Errorf("joined error %q lost the underlying cause", msg)
 	}
 }

@@ -1,6 +1,7 @@
 package ringmesh
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,7 +11,8 @@ import (
 type SweepPoint struct {
 	// Nodes is the processor count of this point.
 	Nodes int
-	// Topology is the ring hierarchy used ("" for meshes).
+	// Topology is the resolved geometry in the model's notation
+	// ("2:3:4" for rings, "8x8" for meshes).
 	Topology string
 	// Result holds the measurements.
 	Result Result
@@ -30,41 +32,52 @@ func DefaultSweepOptions() SweepOptions {
 	return SweepOptions{Run: DefaultRunOptions(), Workers: 4}
 }
 
-// SweepRingSizes measures the base ring configuration at each node
-// count, deriving the hierarchy per size via the Table 2 methodology
-// (base.Topology is ignored). Points come back sorted by size.
-func SweepRingSizes(base RingConfig, sizes []int, opt SweepOptions) ([]SweepPoint, error) {
+// SweepSizes measures the base configuration at each node count,
+// re-deriving the geometry per size (base.Topology is ignored; rings
+// use the Table 2 methodology, meshes take the square root). Points
+// come back sorted by size.
+//
+// All failing points are reported: the error joins every per-point
+// error (see errors.Join), and no new points are scheduled once one
+// has failed.
+func SweepSizes(base Config, sizes []int, opt SweepOptions) ([]SweepPoint, error) {
 	return sweep(sizes, opt, func(n int) (SweepPoint, error) {
 		cfg := base
 		cfg.Topology = ""
 		cfg.Nodes = n
-		spec, err := ringSpecFor(cfg)
+		sys, err := NewSystem(cfg)
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("ringmesh: size %d: %w", n, err)
 		}
-		cfg.Topology = spec.String()
-		res, err := RunRing(cfg, opt.Run)
+		res, err := sys.Run(opt.Run)
 		if err != nil {
-			return SweepPoint{}, err
+			return SweepPoint{}, fmt.Errorf("ringmesh: size %d: %w", n, err)
 		}
-		return SweepPoint{Nodes: n, Topology: cfg.Topology, Result: res}, nil
+		return SweepPoint{Nodes: n, Topology: sys.Topology(), Result: res}, nil
 	})
+}
+
+// SweepRingSizes measures the base ring configuration at each node
+// count, deriving the hierarchy per size via the Table 2 methodology
+// (base.Topology is ignored). Points come back sorted by size.
+//
+// Deprecated: thin wrapper over SweepSizes with Network "ring".
+func SweepRingSizes(base RingConfig, sizes []int, opt SweepOptions) ([]SweepPoint, error) {
+	return SweepSizes(base.generic(), sizes, opt)
 }
 
 // SweepMeshSizes measures the base mesh configuration at each (square)
 // node count. Points come back sorted by size.
+//
+// Deprecated: thin wrapper over SweepSizes with Network "mesh".
 func SweepMeshSizes(base MeshConfig, sizes []int, opt SweepOptions) ([]SweepPoint, error) {
-	return sweep(sizes, opt, func(n int) (SweepPoint, error) {
-		cfg := base
-		cfg.Nodes = n
-		res, err := RunMesh(cfg, opt.Run)
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		return SweepPoint{Nodes: n, Result: res}, nil
-	})
+	return SweepSizes(base.generic(), sizes, opt)
 }
 
+// sweep fans the per-point function out over a bounded worker pool.
+// Every error is collected (never just the first), and scheduling
+// stops at the first failure so a misconfigured sweep fails fast
+// instead of burning cycles on the remaining sizes.
 func sweep(sizes []int, opt SweepOptions, point func(int) (SweepPoint, error)) ([]SweepPoint, error) {
 	workers := opt.Workers
 	if workers < 1 {
@@ -73,10 +86,16 @@ func sweep(sizes []int, opt SweepOptions, point func(int) (SweepPoint, error)) (
 	sem := make(chan struct{}, workers)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	var firstErr error
+	var errs []error
 	var out []SweepPoint
 	for _, n := range sizes {
 		n := n
+		mu.Lock()
+		failed := len(errs) > 0
+		mu.Unlock()
+		if failed {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
@@ -86,17 +105,18 @@ func sweep(sizes []int, opt SweepOptions, point func(int) (SweepPoint, error)) (
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
+				errs = append(errs, err)
 				return
 			}
 			out = append(out, p)
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if len(errs) > 0 {
+		// Joined in size order so the report is stable regardless of
+		// which worker finished first.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return nil, errors.Join(errs...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Nodes < out[j].Nodes })
 	return out, nil
