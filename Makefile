@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke ci
+.PHONY: all build test vet staticcheck race bench-smoke bench-guard bench-baseline ci
 
 all: build
 
@@ -9,6 +9,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Skipped with a note when the tool isn't installed, so `make ci`
+# works on a bare toolchain; CI installs it explicitly.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -21,5 +30,13 @@ race:
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkEngineStep|BenchmarkSimRing24|BenchmarkSimMesh16' -benchtime=100x .
 
+# Fail if the engine hot loop regressed >15% vs ci/bench-baseline.txt.
+bench-guard:
+	$(GO) run ./cmd/benchguard
+
+# Re-record the hot-loop baseline (after an intentional change).
+bench-baseline:
+	$(GO) run ./cmd/benchguard -update
+
 # The gate run by .github/workflows/ci.yml.
-ci: vet build race bench-smoke
+ci: vet staticcheck build race bench-smoke bench-guard

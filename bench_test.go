@@ -111,6 +111,17 @@ func BenchmarkSimRing72(b *testing.B) {
 	})
 }
 
+// BenchmarkSimRing72Metrics is BenchmarkSimRing72 with the instrument
+// registry and sampler attached — the enabled-path overhead of the
+// metrics subsystem (compare with BenchmarkSimRing72).
+func BenchmarkSimRing72Metrics(b *testing.B) {
+	benchCycles(b, func() (*System, error) {
+		return NewSystem(Config{Network: "ring", Topology: "3:3:8", LineBytes: 32,
+			Workload: PaperWorkload(), Seed: 1,
+			Metrics: true, MetricsIntervalCycles: 100})
+	})
+}
+
 func BenchmarkSimRing72Slotted(b *testing.B) {
 	benchCycles(b, func() (*System, error) {
 		return NewRingSystem(RingConfig{Topology: "3:3:8", LineBytes: 32,

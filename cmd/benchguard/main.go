@@ -1,0 +1,134 @@
+// Command benchguard runs a benchmark and compares its ns/op against
+// a checked-in baseline, failing when the measurement regresses past a
+// threshold. It guards the engine's hot loop — in particular that the
+// metrics instrumentation stays free when disabled.
+//
+// Usage:
+//
+//	go run ./cmd/benchguard                # compare against the baseline
+//	go run ./cmd/benchguard -update        # re-record the baseline
+//	go run ./cmd/benchguard -threshold 25  # loosen the gate (percent)
+//
+// The benchmark runs -count times and the fastest run is compared:
+// minimum-of-N is robust to scheduler noise, which only ever slows a
+// run down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "BenchmarkEngineStepUniform", "benchmark to guard (exact name)")
+		pkg       = flag.String("pkg", ".", "package holding the benchmark")
+		baseline  = flag.String("baseline", "ci/bench-baseline.txt", "baseline file path")
+		count     = flag.Int("count", 5, "benchmark repetitions (fastest wins)")
+		benchtime = flag.String("benchtime", "2000x", "go test -benchtime value")
+		threshold = flag.Float64("threshold", 15, "allowed regression in percent")
+		update    = flag.Bool("update", false, "record the measurement as the new baseline")
+	)
+	flag.Parse()
+
+	got, err := measure(*bench, *pkg, *count, *benchtime)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("benchguard: %s = %.1f ns/op (best of %d)\n", *bench, got, *count)
+
+	if *update {
+		body := fmt.Sprintf("# Baseline ns/op recorded by cmd/benchguard -update.\n# Regenerate on the machine that runs the guard.\n%s %.1f\n", *bench, got)
+		if err := os.WriteFile(*baseline, []byte(body), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("benchguard: baseline written to %s\n", *baseline)
+		return
+	}
+
+	want, err := readBaseline(*baseline, *bench)
+	if err != nil {
+		fail(err)
+	}
+	change := 100 * (got - want) / want
+	fmt.Printf("benchguard: baseline %.1f ns/op, change %+.1f%% (limit +%.0f%%)\n", want, change, *threshold)
+	if change > *threshold {
+		fail(fmt.Errorf("%s regressed %.1f%% past the %.0f%% limit (got %.1f ns/op, baseline %.1f); if intentional, re-record with -update",
+			*bench, change, *threshold, got, want))
+	}
+	fmt.Println("benchguard: ok")
+}
+
+// measure runs the benchmark and returns the fastest observed ns/op.
+func measure(bench, pkg string, count int, benchtime string) (float64, error) {
+	cmd := exec.Command("go", "test", "-run=NONE",
+		"-bench=^"+bench+"$", "-benchtime="+benchtime,
+		"-count="+strconv.Itoa(count), pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return 0, fmt.Errorf("benchmark run failed: %w\n%s", err, out)
+	}
+	best := 0.0
+	for _, line := range strings.Split(string(out), "\n") {
+		v, ok := parseNsPerOp(line, bench)
+		if !ok {
+			continue
+		}
+		if best == 0 || v < best {
+			best = v
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("no %q results in output:\n%s", bench, out)
+	}
+	return best, nil
+}
+
+// parseNsPerOp extracts ns/op from one `go test -bench` output line,
+// e.g. "BenchmarkEngineStepUniform-8   2000   845.2 ns/op".
+func parseNsPerOp(line, bench string) (float64, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || (f[0] != bench && !strings.HasPrefix(f[0], bench+"-")) {
+		return 0, false
+	}
+	for i := 2; i+1 < len(f); i++ {
+		if f[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(f[i], 64)
+			return v, err == nil && v > 0
+		}
+	}
+	return 0, false
+}
+
+// readBaseline finds the benchmark's recorded ns/op in the baseline
+// file ("name value" lines; # starts a comment).
+func readBaseline(path, bench string) (float64, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("no baseline (run with -update to record one): %w", err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) == 2 && f[0] == bench {
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil || v <= 0 {
+				return 0, fmt.Errorf("bad baseline line %q", line)
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("benchmark %q not in %s (run with -update)", bench, path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

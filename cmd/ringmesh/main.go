@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"ringmesh/internal/core"
+	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
 	"ringmesh/internal/trace"
 	"ringmesh/internal/workload"
@@ -43,6 +44,10 @@ func main() {
 		batch   = flag.Int64("batch", 4000, "cycles per batch")
 		batches = flag.Int("batches", 8, "retained batches")
 		tracePk = flag.Uint64("trace-packet", 0, "print the lifecycle of this packet id (0 = off)")
+
+		metricsOn  = flag.Bool("metrics", false, "collect link/queue/stall instruments and print a snapshot after the run")
+		metricsInt = flag.Int64("metrics-interval", 100, "metrics sampling period in PM cycles (with -metrics)")
+		metricsOut = flag.String("metrics-out", "", "write the sampled metrics time series to this file; .jsonl suffix selects JSON Lines, anything else CSV (with -metrics)")
 	)
 	flag.Parse()
 
@@ -51,6 +56,10 @@ func main() {
 	var rec *trace.Recorder
 	if *tracePk != 0 {
 		rec = &trace.Recorder{OnlyPacket: *tracePk}
+	}
+	var reg *metrics.Registry
+	if *metricsOn || *metricsOut != "" {
+		reg = &metrics.Registry{}
 	}
 
 	n := *nodes
@@ -69,10 +78,12 @@ func main() {
 			DoubleSpeedGlobal: *dbl,
 			SlottedSwitching:  *slotted,
 		},
-		Workload:   wl,
-		MemLatency: *memLat,
-		Seed:       *seed,
-		Tracer:     rec,
+		Workload:        wl,
+		MemLatency:      *memLat,
+		Seed:            *seed,
+		Tracer:          rec,
+		Metrics:         reg,
+		MetricsInterval: *metricsInt,
 	})
 	if err != nil {
 		fail(err)
@@ -114,6 +125,32 @@ func main() {
 	if rec != nil {
 		fmt.Printf("\ntrace of packet #%d:\n", *tracePk)
 		if err := rec.Write(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fail(err)
+		}
+		samp := sys.Sampler()
+		if strings.HasSuffix(*metricsOut, ".jsonl") {
+			err = samp.WriteJSONL(f)
+		} else {
+			err = samp.WriteCSV(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nmetrics:      %d samples x %d series -> %s\n",
+			len(samp.Samples()), len(samp.Keys()), *metricsOut)
+	}
+	if *metricsOn {
+		fmt.Println("\nmetrics snapshot (measured interval):")
+		if err := reg.WriteText(os.Stdout); err != nil {
 			fail(err)
 		}
 	}

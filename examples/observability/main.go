@@ -1,7 +1,9 @@
-// Observability: latency distributions and per-packet tracing. The
-// paper reports mean round-trip latency; this example shows what the
-// mean hides — tail latency under congestion — and follows a single
-// packet through the hierarchy hop by hop.
+// Observability: latency distributions, per-packet tracing and
+// sampled metrics. The paper reports mean round-trip latency; this
+// example shows what the mean hides — tail latency under congestion —
+// follows a single packet through the hierarchy hop by hop, and
+// watches the per-level link utilization over time to see which ring
+// saturates first.
 //
 // Run with:
 //
@@ -11,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"ringmesh"
 )
@@ -91,20 +94,77 @@ func main() {
 			peak = m
 		}
 	}
-	buckets := make([]int, 8)
-	for _, m := range samples {
-		buckets[int(m)*len(buckets)/(int(peak)+1)]++
-	}
-	fmt.Printf("\nper-cycle flit movement over %d cycles (peak %d flits/cycle):\n", len(samples), peak)
-	for i, n := range buckets {
-		lo := i * (int(peak) + 1) / len(buckets)
-		hi := (i+1)*(int(peak)+1)/len(buckets) - 1
-		bar := ""
-		for j := 0; j < 50*n/len(samples); j++ {
-			bar += "#"
+	// An idle window (no samples, or no flit ever moved) has nothing
+	// to bucket; dividing by len(samples) or indexing by peak would
+	// fault on it.
+	if len(samples) == 0 || peak == 0 {
+		fmt.Println("\nidle window: no flit movement to profile")
+	} else {
+		buckets := make([]int, 8)
+		for _, m := range samples {
+			buckets[int(m)*len(buckets)/(int(peak)+1)]++
 		}
-		fmt.Printf("  %3d-%-3d flits %6.1f%% %s\n", lo, hi, 100*float64(n)/float64(len(samples)), bar)
+		fmt.Printf("\nper-cycle flit movement over %d cycles (peak %d flits/cycle):\n", len(samples), peak)
+		for i, n := range buckets {
+			lo := i * (int(peak) + 1) / len(buckets)
+			hi := (i+1)*(int(peak)+1)/len(buckets) - 1
+			bar := strings.Repeat("#", 50*n/len(samples))
+			fmt.Printf("  %3d-%-3d flits %6.1f%% %s\n", lo, hi, 100*float64(n)/float64(len(samples)), bar)
+		}
 	}
 	fmt.Println("\nThe hook fires every engine tick, so instantaneous-load traces")
 	fmt.Println("attach outside the network models instead of instrumenting them.")
+
+	// 4. Sampled metrics: per-level link utilization over time on a
+	// loaded hierarchy. The sampler snapshots the registry every N
+	// cycles, so each row is that window's utilization — watch the
+	// upper rings fill up while the local rings stay comfortable: the
+	// hierarchy's bisection is the bottleneck, the paper's central
+	// result for uniform (R=1.0) traffic.
+	msys, err := ringmesh.NewSystem(ringmesh.Config{
+		Network:               "ring",
+		Topology:              "2:3:8",
+		LineBytes:             32,
+		Workload:              ringmesh.PaperWorkload(),
+		Seed:                  1,
+		Metrics:               true,
+		MetricsIntervalCycles: 400,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := msys.StepCycles(4000); err != nil {
+		log.Fatal(err)
+	}
+	names := msys.MetricNames()
+	var cols []int
+	for i, k := range names {
+		if strings.HasPrefix(k, "ring_link_util{") {
+			cols = append(cols, i)
+		}
+	}
+	fmt.Println("\nper-level ring link utilization over time (ring 2:3:8, R=1.0):")
+	fmt.Printf("  %8s", "cycle")
+	for _, c := range cols {
+		lvl := strings.TrimSuffix(strings.TrimPrefix(names[c], "ring_link_util{link="), "}")
+		switch {
+		case lvl == "L0":
+			lvl = "global"
+		case c == cols[len(cols)-1]:
+			lvl = "local"
+		}
+		fmt.Printf("  %6s", lvl)
+	}
+	fmt.Println()
+	for _, row := range msys.MetricSamples() {
+		fmt.Printf("  %8d", row.Cycle)
+		for _, c := range cols {
+			fmt.Printf("  %5.1f%%", 100*row.Values[c])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe upper levels run far hotter than the locals from the first")
+	fmt.Println("window: under uniform traffic most transactions must climb the")
+	fmt.Println("hierarchy, so its narrow top is what saturates — the reason the")
+	fmt.Println("paper caps single-ring sizes and meshes scale better at R=1.0.")
 }

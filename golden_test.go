@@ -139,6 +139,91 @@ func TestGoldenResults(t *testing.T) {
 	}
 }
 
+// TestGoldenResultsWithMetrics re-runs every golden case with the
+// instrument registry and sampler attached and demands the same
+// Results bit for bit: metrics are observation-only, so enabling them
+// must never perturb the simulation.
+func TestGoldenResultsWithMetrics(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := tc.cfg
+			cfg.Metrics = true
+			cfg.MetricsIntervalCycles = 50
+			sys, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sys.Run(tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("metrics changed the simulation\n got: %#v\nwant: %#v", got, tc.want)
+			}
+			if len(sys.MetricNames()) == 0 || len(sys.MetricSamples()) == 0 {
+				t.Errorf("metrics enabled but empty: %d series, %d samples",
+					len(sys.MetricNames()), len(sys.MetricSamples()))
+			}
+		})
+	}
+}
+
+// TestMetricsGlobalRingRunsHotter checks the instrumented utilization
+// reproduces the paper's qualitative hierarchy behaviour: under
+// uniform traffic (R=1.0) the upper rings carry the concentrated
+// cross-cluster load, so the global ring's link utilization exceeds
+// the local rings'.
+func TestMetricsGlobalRingRunsHotter(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Network:               "ring",
+		Topology:              "2:3:8",
+		LineBytes:             32,
+		Workload:              PaperWorkload(),
+		Seed:                  goldenSeed,
+		Metrics:               true,
+		MetricsIntervalCycles: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(QuickRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, local := res.RingUtilization[0], res.RingUtilization[len(res.RingUtilization)-1]
+	if !(global > local) {
+		t.Fatalf("global ring util %.3f not above local %.3f at R=1.0", global, local)
+	}
+	// The sampled series must agree with the aggregate ordering.
+	names := sys.MetricNames()
+	gi, li := -1, -1
+	for i, k := range names {
+		switch k {
+		case "ring_link_util{link=L0}":
+			gi = i
+		case "ring_link_util{link=L2}":
+			li = i
+		}
+	}
+	if gi < 0 || li < 0 {
+		t.Fatalf("ring_link_util series missing from %v", names)
+	}
+	var gSum, lSum float64
+	samples := sys.MetricSamples()
+	if len(samples) == 0 {
+		t.Fatal("no metric samples")
+	}
+	for _, row := range samples {
+		gSum += row.Values[gi]
+		lSum += row.Values[li]
+	}
+	if !(gSum > lSum) {
+		t.Fatalf("sampled global util %.3f not above local %.3f", gSum/float64(len(samples)), lSum/float64(len(samples)))
+	}
+}
+
 // TestGoldenResultsViaDeprecatedAPI pins the thin RunRing/RunMesh
 // wrappers to the same numbers as the generic Run path: the wrappers
 // must be pure repackaging, never a second pipeline.

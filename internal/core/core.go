@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"ringmesh/internal/mesh"
+	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
 	"ringmesh/internal/node"
 	"ringmesh/internal/ring"
@@ -33,6 +34,10 @@ type System struct {
 	col    *node.Collector
 	pms    []*node.PM
 	net    network.Model
+
+	metrics  *metrics.Registry
+	sampler  *metrics.Sampler
+	userHook func(now int64, moved uint64)
 
 	ticksPerCycle int64
 	pmCount       int
@@ -58,6 +63,17 @@ type SystemConfig struct {
 	Histogram bool
 	// Tracer optionally records per-packet lifecycle events.
 	Tracer *trace.Recorder
+	// Metrics, when non-nil, receives the network model's instruments
+	// (per-link utilization, queue occupancy, stall counters); see
+	// network.Model.DescribeMetrics. Instrumentation is
+	// observation-only and never changes simulation results.
+	Metrics *metrics.Registry
+	// MetricsInterval, when > 0 together with Metrics, attaches a
+	// time-series sampler snapshotting every MetricsInterval PM clock
+	// cycles (see System.Sampler). The sampler is reset when the
+	// warmup batch is discarded, so its rows cover the measured
+	// interval.
+	MetricsInterval int64
 }
 
 // NewSystem builds a multiprocessor around any registered
@@ -110,10 +126,44 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		return nil, err
 	}
 	model.SetTracer(cfg.Tracer)
+	model.DescribeMetrics(cfg.Metrics)
+	s.metrics = cfg.Metrics
+	if cfg.Metrics != nil && cfg.MetricsInterval > 0 {
+		s.sampler = metrics.NewSampler(cfg.Metrics, cfg.MetricsInterval*tpc, nil)
+	}
 	s.net = model
 	s.engine.Register(model, 1)
 	s.engine.InFlight = s.col.InFlight
+	s.wireOnCycle()
 	return s, nil
+}
+
+// wireOnCycle installs the engine per-tick hook, composing the
+// metrics sampler with the user hook (either may be absent; both nil
+// leaves the engine hook nil, the zero-overhead path).
+func (s *System) wireOnCycle() {
+	samp, user := s.sampler, s.userHook
+	switch {
+	case samp != nil && user != nil:
+		s.engine.OnCycle = func(now int64, moved uint64) {
+			samp.OnCycle(now, moved)
+			user(now, moved)
+		}
+	case samp != nil:
+		s.engine.OnCycle = samp.OnCycle
+	case user != nil:
+		s.engine.OnCycle = user
+	default:
+		s.engine.OnCycle = nil
+	}
+}
+
+// OnCycle sets the user per-tick observability hook (nil detaches).
+// It composes with the metrics sampler, so both can observe every
+// tick.
+func (s *System) OnCycle(f func(now int64, moved uint64)) {
+	s.userHook = f
+	s.wireOnCycle()
 }
 
 // RingSystemConfig configures a hierarchical-ring system.
@@ -211,6 +261,18 @@ func (s *System) Engine() *sim.Engine { return s.engine }
 
 // Network exposes the interconnect model (for tests).
 func (s *System) Network() network.Model { return s.net }
+
+// Metrics returns the instrument registry the system was built with
+// (nil when metrics are disabled).
+func (s *System) Metrics() *metrics.Registry { return s.metrics }
+
+// Sampler returns the attached metrics time-series sampler (nil
+// unless the system was built with Metrics and MetricsInterval).
+func (s *System) Sampler() *metrics.Sampler { return s.sampler }
+
+// TicksPerCycle returns engine ticks per PM clock cycle (2 on
+// double-speed-global configurations, else 1).
+func (s *System) TicksPerCycle() int64 { return s.ticksPerCycle }
 
 // PMs returns the number of processing modules.
 func (s *System) PMs() int { return s.pmCount }
@@ -318,6 +380,10 @@ func (s *System) Run(rc RunConfig) (Result, error) {
 	}
 	s.col.Latency.CloseBatch() // discarded by the batch-means filter
 	s.net.ResetUtilization()
+	// Warmup-aware metrics reset: counters and sampled series restart
+	// with the measured interval, mirroring the batch-means discard.
+	s.metrics.Reset()
+	s.sampler.Reset()
 
 	if !stalled {
 		for b := 0; b < rc.Batches; b++ {

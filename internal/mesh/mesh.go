@@ -15,6 +15,7 @@ package mesh
 import (
 	"fmt"
 
+	"ringmesh/internal/metrics"
 	"ringmesh/internal/node"
 	"ringmesh/internal/packet"
 	"ringmesh/internal/sim"
@@ -89,9 +90,12 @@ type router struct {
 
 	pm PMPort
 
-	// linkUtil counts flits sent on this router's four outgoing
-	// neighbour links (capacity accrues only for links that exist).
-	linkUtil stats.Utilization
+	// linkUtil counts flits sent on each of this router's outgoing
+	// neighbour links, per direction (capacity accrues only for links
+	// that exist; the Local slot stays unused). Keeping the split by
+	// direction is what the metrics registry exports; the aggregate
+	// Utilization() view merges them.
+	linkUtil [topo.NumPorts]stats.Utilization
 }
 
 // Network is the mesh interconnect as a sim.Component.
@@ -100,6 +104,11 @@ type Network struct {
 	routers []*router
 	engine  *sim.Engine
 	tracer  *trace.Recorder
+
+	// turns, when non-nil (metrics enabled), counts e-cube dimension
+	// turns: head flits leaving an east/west input through a
+	// north/south output.
+	turns *metrics.Counter
 }
 
 // SetTracer attaches an optional lifecycle recorder (nil-safe).
@@ -215,7 +224,7 @@ func (n *Network) commitRouter(r *router, now int64) (moved int) {
 	spec := n.cfg.Spec
 	for o := topo.Direction(0); o < topo.NumPorts; o++ {
 		if o != topo.Local && spec.Neighbor(r.id, o) >= 0 {
-			r.linkUtil.Tick(1)
+			r.linkUtil[o].Tick(1)
 		}
 		mv := r.staged[o]
 		if !mv.ok {
@@ -237,6 +246,11 @@ func (n *Network) commitRouter(r *router, now int64) (moved int) {
 		}
 		if mv.f.Head() {
 			r.rr[o] = (int(mv.in) + 1) % int(topo.NumPorts)
+			if n.turns != nil &&
+				(mv.in == topo.East || mv.in == topo.West) &&
+				(o == topo.North || o == topo.South) {
+				n.turns.Inc()
+			}
 		}
 		// Deposit.
 		if o == topo.Local {
@@ -250,7 +264,7 @@ func (n *Network) commitRouter(r *router, now int64) (moved int) {
 					fmt.Sprintf("router%d %s", r.id, o))
 			}
 			n.routers[nb].inputs[o.Opposite()].Push(mv.f)
-			r.linkUtil.Busy(1)
+			r.linkUtil[o].Busy(1)
 		}
 		moved++
 	}
@@ -285,11 +299,15 @@ func (n *Network) commitRouter(r *router, now int64) (moved int) {
 
 // Utilization returns aggregate inter-router link utilization in
 // [0, 1] — busy link-cycles over available link-cycles, the paper's
-// "percent of maximum network utilization" for meshes.
+// "percent of maximum network utilization" for meshes. It merges the
+// same per-direction counters the metrics registry exports, so the
+// aggregate and the per-direction series always agree.
 func (n *Network) Utilization() float64 {
 	var u stats.Utilization
 	for _, r := range n.routers {
-		u.Merge(&r.linkUtil)
+		for o := topo.Direction(0); o < topo.NumPorts; o++ {
+			u.Merge(&r.linkUtil[o])
+		}
 	}
 	return u.Value()
 }
@@ -297,8 +315,53 @@ func (n *Network) Utilization() float64 {
 // ResetUtilization clears link counters (warmup end).
 func (n *Network) ResetUtilization() {
 	for _, r := range n.routers {
-		r.linkUtil.Reset()
+		for o := topo.Direction(0); o < topo.NumPorts; o++ {
+			r.linkUtil[o].Reset()
+		}
 	}
+}
+
+// DescribeMetrics registers the mesh's instruments:
+//
+//   - mesh_link_util{link=north|east|south|west}: per-direction link
+//     utilization aggregated across routers, backed by the existing
+//     per-router counters (no new hot-path work).
+//   - mesh_input_buffer_flits{queue=<direction>}: total input-FIFO
+//     occupancy per port direction across the mesh, read only at
+//     sample time.
+//   - mesh_ecube_turns: head flits turning from the X dimension into
+//     the Y dimension (counted only while a registry is attached).
+//
+// Nil-safe: a nil registry registers nothing and leaves the hot path
+// unchanged.
+func (n *Network) DescribeMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for o := topo.Direction(0); o < topo.NumPorts; o++ {
+		if o == topo.Local {
+			continue
+		}
+		backing := make([]*stats.Utilization, 0, len(n.routers))
+		for _, r := range n.routers {
+			if n.cfg.Spec.Neighbor(r.id, o) >= 0 {
+				backing = append(backing, &r.linkUtil[o])
+			}
+		}
+		reg.Ratio("mesh_link_util", metrics.Labels{Link: o.String()}, backing...)
+	}
+	for o := topo.Direction(0); o < topo.NumPorts; o++ {
+		o := o
+		reg.Gauge("mesh_input_buffer_flits", metrics.Labels{Queue: o.String()},
+			func() float64 {
+				total := 0
+				for _, r := range n.routers {
+					total += r.inputs[o].Len()
+				}
+				return float64(total)
+			})
+	}
+	n.turns = reg.Counter("mesh_ecube_turns", metrics.Labels{})
 }
 
 // BufferedFlits counts flits resident in all router input FIFOs plus

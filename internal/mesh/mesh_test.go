@@ -228,7 +228,12 @@ func TestEcubePathShape(t *testing.T) {
 	// others must not.
 	onPath := map[int]bool{0: true, 1: true, 2: true, 5: true}
 	for id, r := range h.net.routers {
-		busy := r.linkUtil.Value() > 0
+		busy := false
+		for o := topo.Direction(0); o < topo.NumPorts; o++ {
+			if r.linkUtil[o].Value() > 0 {
+				busy = true
+			}
+		}
 		if onPath[id] && !busy {
 			t.Fatalf("router %d on path shows no traffic", id)
 		}

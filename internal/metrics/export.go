@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV renders the sampler's time series as CSV: a header of
+// "tick" plus one column per selected series key, then one row per
+// sample. Nil-safe (writes nothing).
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	header := append([]string{"tick"}, s.keys...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	row := make([]string, 1+len(s.keys))
+	for _, sm := range s.samples {
+		row[0] = strconv.FormatInt(sm.Tick, 10)
+		for i, v := range sm.Values {
+			row[1+i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL renders the sampler's time series as JSON Lines: one
+// object per sample with the tick and a key→value map. Map keys are
+// emitted sorted (encoding/json), so the output is deterministic.
+// Nil-safe (writes nothing).
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, sm := range s.samples {
+		vals := make(map[string]float64, len(s.keys))
+		for i, k := range s.keys {
+			vals[k] = sm.Values[i]
+		}
+		if err := enc.Encode(struct {
+			Tick   int64              `json:"tick"`
+			Values map[string]float64 `json:"values"`
+		}{Tick: sm.Tick, Values: vals}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText renders a one-shot Prometheus-style text snapshot of
+// every registered series' current cumulative value:
+//
+//	# TYPE ring_link_util gauge
+//	ring_link_util{link="L0"} 0.58
+//
+// Series sharing a name are grouped under one TYPE comment, in
+// registration order. Nil-safe (writes nothing).
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	lastName := ""
+	for _, s := range r.series {
+		if s.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n",
+			s.Name, s.Labels.promString(),
+			strconv.FormatFloat(s.Value(), 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+// Package metrics is the simulator's instrumentation subsystem: a
+// registry of named, labelled series that every network model reports
+// into, a cycle-driven sampler that turns the registry into in-memory
+// time series, and machine-readable exporters (CSV, JSONL, a
+// Prometheus-style text snapshot).
+//
+// The design follows the trace.Recorder pattern: recording is
+// zero-cost when disabled. A nil *Registry hands out nil instruments,
+// and every instrument method is nil-safe, so models instrument
+// unconditionally without branching at call sites. Instrumentation is
+// observation-only — attaching a registry must never change a
+// simulation result bit-for-bit (the golden tests enforce this).
+//
+// Three instrument kinds cover the models' needs:
+//
+//   - Counter: a monotonically increasing event count (injection
+//     stalls, e-cube turns). Owned and reset by the registry.
+//   - Gauge: an instantaneous value read through a callback at sample
+//     time (queue occupancy). Zero hot-path cost: nothing is recorded
+//     until the sampler looks.
+//   - Ratio: busy-over-capacity utilization backed by one or more
+//     existing stats.Utilization counters (link utilization). The
+//     models already maintain these for their end-of-run stats, so
+//     registering them adds no new hot-path work.
+//
+// The measurement clock is warmup-aware: Registry.Reset (called by
+// the core runner when the batch-means method discards its first
+// batch) clears counters and ratio backings so exported series cover
+// the measured interval only.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"ringmesh/internal/stats"
+)
+
+// Labels is the small fixed label scheme keying a series. Empty
+// fields are omitted from the rendered key. The scheme is deliberately
+// closed (no free-form map): every model names its instruments with
+// the same four dimensions, so exported series are joinable across
+// topologies.
+type Labels struct {
+	// Link names a physical channel or channel group ("L0" for the
+	// global ring level, "east" for a mesh direction).
+	Link string
+	// Node names a network attachment ("nic3", "iri[0,24)", "router5").
+	Node string
+	// Queue names a buffer at the node ("up", "down", "input").
+	Queue string
+	// Class is the traffic class ("req" or "rsp").
+	Class string
+}
+
+// String renders the labels in {k=v,...} form with a fixed key order,
+// or "" when all labels are empty.
+func (l Labels) String() string {
+	var parts []string
+	add := func(k, v string) {
+		if v != "" {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	add("link", l.Link)
+	add("node", l.Node)
+	add("queue", l.Queue)
+	add("class", l.Class)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promString renders the labels in Prometheus exposition form
+// ({k="v",...}), or "" when all labels are empty.
+func (l Labels) promString() string {
+	var parts []string
+	add := func(k, v string) {
+		if v != "" {
+			parts = append(parts, fmt.Sprintf("%s=%q", k, v))
+		}
+	}
+	add("link", l.Link)
+	add("node", l.Node)
+	add("queue", l.Queue)
+	add("class", l.Class)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Kind classifies a series.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing event count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value read at sample time.
+	KindGauge
+	// KindRatio is busy-over-capacity utilization in [0,1].
+	KindRatio
+)
+
+// String names the kind (Prometheus type vocabulary: ratios and
+// gauges both expose as gauges).
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge, KindRatio:
+		return "gauge"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Counter is a monotonically increasing event count. The nil Counter
+// (handed out by a nil Registry) ignores every call, so instrumented
+// hot paths cost one pointer test when metrics are disabled.
+type Counter struct{ v int64 }
+
+// Add records n events.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc records one event.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Series is one named, labelled instrument registered in a Registry.
+type Series struct {
+	// Name is the metric name ("ring_link_util").
+	Name string
+	// Labels distinguishes series sharing a name.
+	Labels Labels
+	// Kind classifies the instrument.
+	Kind Kind
+
+	counter *Counter
+	gauge   func() float64
+	ratios  []*stats.Utilization
+}
+
+// Key returns the unique series key: name plus rendered labels.
+func (s *Series) Key() string { return s.Name + s.Labels.String() }
+
+// Value returns the series' current cumulative value: the count for
+// counters, the callback's value for gauges, merged busy/capacity for
+// ratios.
+func (s *Series) Value() float64 {
+	switch s.Kind {
+	case KindCounter:
+		return float64(s.counter.Value())
+	case KindGauge:
+		return s.gauge()
+	default:
+		var u stats.Utilization
+		for _, r := range s.ratios {
+			u.Merge(r)
+		}
+		return u.Value()
+	}
+}
+
+// raw returns the series' internal state as an integer pair for the
+// sampler's windowed deltas: (count, 0) for counters, (busy, capacity)
+// for ratios. Gauges have no accumulating state and return zeros.
+func (s *Series) raw() (int64, int64) {
+	switch s.Kind {
+	case KindCounter:
+		return s.counter.Value(), 0
+	case KindRatio:
+		var u stats.Utilization
+		for _, r := range s.ratios {
+			u.Merge(r)
+		}
+		return u.Counts()
+	default:
+		return 0, 0
+	}
+}
+
+// Registry holds the instruments of one simulated system in
+// registration order. It is not safe for concurrent use; the
+// simulator is single-threaded per system (concurrent sweep points
+// each build their own registry). The nil Registry disables
+// instrumentation: it hands out nil instruments and registers
+// nothing.
+type Registry struct {
+	series []*Series
+	index  map[string]*Series
+}
+
+// register adds s, panicking on a duplicate key — duplicate
+// instrument registration is a programmer error in a model's
+// DescribeMetrics, not a runtime condition.
+func (r *Registry) register(s *Series) {
+	key := s.Key()
+	if r.index == nil {
+		r.index = map[string]*Series{}
+	}
+	if _, dup := r.index[key]; dup {
+		panic(fmt.Sprintf("metrics: series %s registered twice", key))
+	}
+	r.index[key] = s
+	r.series = append(r.series, s)
+}
+
+// Counter registers and returns a counter series. A nil registry
+// returns a nil counter, whose methods all no-op.
+func (r *Registry) Counter(name string, l Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(&Series{Name: name, Labels: l, Kind: KindCounter, counter: c})
+	return c
+}
+
+// Gauge registers a pull-based gauge series: f is invoked at sample
+// and snapshot time only, so gauges add no hot-path cost. A nil
+// registry registers nothing.
+func (r *Registry) Gauge(name string, l Labels, f func() float64) {
+	if r == nil {
+		return
+	}
+	if f == nil {
+		panic(fmt.Sprintf("metrics: Gauge(%s%s) with nil callback", name, l))
+	}
+	r.register(&Series{Name: name, Labels: l, Kind: KindGauge, gauge: f})
+}
+
+// Ratio registers a utilization series backed by the given
+// stats.Utilization counters (their merged busy/capacity is the
+// series value). The backings stay owned by the caller — typically a
+// model's existing link counters — so registration adds no hot-path
+// work. A nil registry registers nothing.
+func (r *Registry) Ratio(name string, l Labels, backing ...*stats.Utilization) {
+	if r == nil {
+		return
+	}
+	if len(backing) == 0 {
+		panic(fmt.Sprintf("metrics: Ratio(%s%s) with no backing", name, l))
+	}
+	r.register(&Series{Name: name, Labels: l, Kind: KindRatio, ratios: backing})
+}
+
+// Series returns the registered series in registration order (nil for
+// a nil registry).
+func (r *Registry) Series() []*Series {
+	if r == nil {
+		return nil
+	}
+	return r.series
+}
+
+// Lookup returns the series with the given key.
+func (r *Registry) Lookup(key string) (*Series, bool) {
+	if r == nil {
+		return nil, false
+	}
+	s, ok := r.index[key]
+	return s, ok
+}
+
+// Reset clears every counter and ratio backing — the warmup-aware
+// reset: the core runner calls it when the batch-means method
+// discards the first batch, so exported series cover the measured
+// interval only. Gauges are instantaneous and have nothing to clear.
+// Nil-safe.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	for _, s := range r.series {
+		switch s.Kind {
+		case KindCounter:
+			s.counter.v = 0
+		case KindRatio:
+			for _, u := range s.ratios {
+				u.Reset()
+			}
+		}
+	}
+}

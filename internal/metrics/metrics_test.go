@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"ringmesh/internal/stats"
+)
+
+// A nil registry hands out nil instruments and every call no-ops —
+// the zero-cost-when-disabled contract.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", Labels{})
+	if c != nil {
+		t.Fatal("nil registry returned a live counter")
+	}
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	reg.Gauge("g", Labels{}, nil) // nil callback must not panic via nil registry
+	reg.Ratio("r", Labels{})
+	reg.Reset()
+	if reg.Series() != nil {
+		t.Fatal("nil registry has series")
+	}
+	if s := NewSampler(reg, 10, nil); s != nil {
+		t.Fatal("sampler over nil registry")
+	}
+	var sp *Sampler
+	sp.OnCycle(0, 0)
+	sp.Reset()
+	if sp.Keys() != nil || sp.Samples() != nil {
+		t.Fatal("nil sampler returned data")
+	}
+	if err := sp.WriteCSV(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelsKey(t *testing.T) {
+	l := Labels{Link: "L0", Class: "req"}
+	if got := l.String(); got != "{link=L0,class=req}" {
+		t.Fatalf("labels = %q", got)
+	}
+	if got := (Labels{}).String(); got != "" {
+		t.Fatalf("empty labels = %q", got)
+	}
+	reg := &Registry{}
+	reg.Counter("stalls", l)
+	if got := reg.Series()[0].Key(); got != "stalls{link=L0,class=req}" {
+		t.Fatalf("key = %q", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate series")
+		}
+	}()
+	reg := &Registry{}
+	reg.Counter("x", Labels{Node: "a"})
+	reg.Counter("x", Labels{Node: "a"})
+}
+
+func TestCounterGaugeRatioValues(t *testing.T) {
+	reg := &Registry{}
+	c := reg.Counter("events", Labels{})
+	g := 3.5
+	reg.Gauge("depth", Labels{}, func() float64 { return g })
+	var u1, u2 stats.Utilization
+	reg.Ratio("util", Labels{}, &u1, &u2)
+
+	c.Add(7)
+	u1.Busy(3)
+	u1.Tick(4)
+	u2.Tick(4) // merged: 3 busy / 8 capacity
+	vals := map[string]float64{}
+	for _, s := range reg.Series() {
+		vals[s.Key()] = s.Value()
+	}
+	if vals["events"] != 7 || vals["depth"] != 3.5 || vals["util"] != 3.0/8.0 {
+		t.Fatalf("values = %v", vals)
+	}
+
+	// Reset clears counters and ratio backings; gauges are untouched.
+	reg.Reset()
+	if c.Value() != 0 {
+		t.Fatal("counter survived reset")
+	}
+	if b, cap := u1.Counts(); b != 0 || cap != 0 {
+		t.Fatal("ratio backing survived reset")
+	}
+	g = 9
+	for _, s := range reg.Series() {
+		if s.Name == "depth" && s.Value() != 9 {
+			t.Fatal("gauge not live after reset")
+		}
+	}
+}
+
+// The sampler records windowed values: counter deltas and per-window
+// utilization, gauges instantaneously.
+func TestSamplerWindows(t *testing.T) {
+	reg := &Registry{}
+	c := reg.Counter("events", Labels{})
+	var u stats.Utilization
+	reg.Ratio("util", Labels{}, &u)
+	depth := 0.0
+	reg.Gauge("depth", Labels{}, func() float64 { return depth })
+
+	s := NewSampler(reg, 10, nil)
+	if got := s.Keys(); len(got) != 3 {
+		t.Fatalf("keys = %v", got)
+	}
+	for tick := int64(0); tick < 20; tick++ {
+		c.Inc()
+		u.Tick(1)
+		if tick < 10 {
+			u.Busy(1) // first window fully busy, second idle
+		}
+		depth = float64(tick)
+		s.OnCycle(tick, 0)
+	}
+	rows := s.Samples()
+	if len(rows) != 2 {
+		t.Fatalf("%d samples, want 2", len(rows))
+	}
+	if rows[0].Tick != 9 || rows[1].Tick != 19 {
+		t.Fatalf("ticks = %d, %d", rows[0].Tick, rows[1].Tick)
+	}
+	// events: 10 per window; util: 1.0 then 0.0; depth: instantaneous.
+	if rows[0].Values[0] != 10 || rows[1].Values[0] != 10 {
+		t.Fatalf("counter windows = %v, %v", rows[0].Values[0], rows[1].Values[0])
+	}
+	if rows[0].Values[1] != 1.0 || rows[1].Values[1] != 0.0 {
+		t.Fatalf("util windows = %v, %v", rows[0].Values[1], rows[1].Values[1])
+	}
+	if rows[0].Values[2] != 9 || rows[1].Values[2] != 19 {
+		t.Fatalf("gauge samples = %v, %v", rows[0].Values[2], rows[1].Values[2])
+	}
+}
+
+// Reset drops rows and re-baselines deltas, so post-reset windows do
+// not absorb pre-reset history (the warmup discard).
+func TestSamplerReset(t *testing.T) {
+	reg := &Registry{}
+	c := reg.Counter("events", Labels{})
+	s := NewSampler(reg, 5, nil)
+	c.Add(100)
+	s.OnCycle(4, 0)
+	s.Reset()
+	if len(s.Samples()) != 0 {
+		t.Fatal("samples survived reset")
+	}
+	c.Add(3)
+	s.OnCycle(9, 0)
+	rows := s.Samples()
+	if len(rows) != 1 || rows[0].Values[0] != 3 {
+		t.Fatalf("post-reset window = %v, want [3]", rows)
+	}
+	// Registry.Reset zeroes the counter below the baseline; the next
+	// window must difference against the reset state, not go negative
+	// silently — the runner always resets both together.
+	reg.Reset()
+	s.Reset()
+	c.Add(2)
+	s.OnCycle(14, 0)
+	rows = s.Samples()
+	if len(rows) != 1 || rows[0].Values[0] != 2 {
+		t.Fatalf("window after joint reset = %v, want [2]", rows)
+	}
+}
+
+func TestSamplerFilter(t *testing.T) {
+	reg := &Registry{}
+	reg.Counter("keep", Labels{})
+	reg.Counter("drop", Labels{})
+	s := NewSampler(reg, 1, func(sr *Series) bool { return sr.Name == "keep" })
+	if got := s.Keys(); len(got) != 1 || got[0] != "keep" {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestExporters(t *testing.T) {
+	reg := &Registry{}
+	c := reg.Counter("turns", Labels{Node: "router0"})
+	var u stats.Utilization
+	reg.Ratio("link_util", Labels{Link: "L0"}, &u)
+	c.Add(4)
+	u.Busy(1)
+	u.Tick(2)
+
+	s := NewSampler(reg, 2, nil)
+	c.Add(1)
+	u.Busy(1)
+	u.Tick(2)
+	s.OnCycle(1, 0)
+
+	var csv strings.Builder
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := "tick,turns{node=router0},link_util{link=L0}\n1,1,0.5\n"
+	if csv.String() != wantCSV {
+		t.Fatalf("csv:\n%s\nwant:\n%s", csv.String(), wantCSV)
+	}
+
+	var jsonl strings.Builder
+	if err := s.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := `{"tick":1,"values":{"link_util{link=L0}":0.5,"turns{node=router0}":1}}` + "\n"
+	if jsonl.String() != wantJSON {
+		t.Fatalf("jsonl:\n%s\nwant:\n%s", jsonl.String(), wantJSON)
+	}
+
+	var text strings.Builder
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	wantText := "# TYPE turns counter\n" +
+		`turns{node="router0"} 5` + "\n" +
+		"# TYPE link_util gauge\n" +
+		`link_util{link="L0"} 0.5` + "\n"
+	if text.String() != wantText {
+		t.Fatalf("text:\n%s\nwant:\n%s", text.String(), wantText)
+	}
+}

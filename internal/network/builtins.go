@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ringmesh/internal/mesh"
+	"ringmesh/internal/metrics"
 	"ringmesh/internal/packet"
 	"ringmesh/internal/ring"
 	"ringmesh/internal/sim"
@@ -29,6 +30,7 @@ type hierNet interface {
 	ResetUtilization()
 	CheckInvariants() error
 	SetTracer(*trace.Recorder)
+	DescribeMetrics(*metrics.Registry)
 	UtilizationByLevel() []float64
 }
 
@@ -46,6 +48,7 @@ type flatNet interface {
 	ResetUtilization()
 	CheckInvariants() error
 	SetTracer(*trace.Recorder)
+	DescribeMetrics(*metrics.Registry)
 	Utilization() float64
 }
 

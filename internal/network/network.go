@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 
+	"ringmesh/internal/metrics"
 	"ringmesh/internal/node"
 	"ringmesh/internal/packet"
 	"ringmesh/internal/sim"
@@ -100,6 +101,13 @@ type Model interface {
 	// SetTracer attaches an optional packet-lifecycle recorder
 	// (nil-safe).
 	SetTracer(*trace.Recorder)
+	// DescribeMetrics registers the model's instruments — link
+	// utilization ratios, queue occupancy gauges, stall counters —
+	// into reg (nil-safe: a nil registry leaves the model
+	// uninstrumented at zero cost). Instrumentation is
+	// observation-only: attaching a registry must not change any
+	// simulation result.
+	DescribeMetrics(reg *metrics.Registry)
 }
 
 // Plan is a resolved network blueprint: everything the assembly layer

@@ -3,6 +3,7 @@ package ring
 import (
 	"fmt"
 
+	"ringmesh/internal/metrics"
 	"ringmesh/internal/node"
 	"ringmesh/internal/packet"
 	"ringmesh/internal/sim"
@@ -282,6 +283,57 @@ func (n *Network) Commit(now int64) {
 		if nc.st.active(now) {
 			nc.refill()
 		}
+	}
+}
+
+// levelLabel names hierarchy level lvl for metrics ("L0" = global).
+func levelLabel(lvl int) string { return fmt.Sprintf("L%d", lvl) }
+
+// DescribeMetrics registers the ring family's instruments:
+//
+//   - ring_link_util{link=L<level>}: per-level link utilization,
+//     backed by the stations' existing counters (no new hot-path
+//     work).
+//   - iri_queue_flits{node,queue=up|down,class=req|rsp}: per-IRI
+//     queue occupancy gauges, read only at sample time.
+//   - nic_inject_stall_cycles{node}: per-NIC injection-stall counter
+//     (see station.commit), attached only while a registry is
+//     present.
+//
+// Nil-safe: a nil registry registers nothing and attaches no
+// counters, so the disabled hot path is unchanged.
+func (n *Network) DescribeMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	perLevel := make([][]*stats.Utilization, n.cfg.Spec.NumLevels())
+	for _, st := range n.stations {
+		perLevel[st.level] = append(perLevel[st.level], st.util)
+	}
+	for lvl, backing := range perLevel {
+		reg.Ratio("ring_link_util", metrics.Labels{Link: levelLabel(lvl)}, backing...)
+	}
+	for _, ir := range n.iris {
+		ir := ir
+		node := fmt.Sprintf("iri[%d,%d)", ir.lo, ir.hi)
+		for _, q := range []struct {
+			fifo         *packet.FIFO
+			queue, class string
+		}{
+			{ir.upReq, "up", "req"},
+			{ir.upResp, "up", "rsp"},
+			{ir.downReq, "down", "req"},
+			{ir.downResp, "down", "rsp"},
+		} {
+			fifo := q.fifo
+			reg.Gauge("iri_queue_flits",
+				metrics.Labels{Node: node, Queue: q.queue, Class: q.class},
+				func() float64 { return float64(fifo.Len()) })
+		}
+	}
+	for id, nc := range n.nics {
+		nc.st.stall = reg.Counter("nic_inject_stall_cycles",
+			metrics.Labels{Node: fmt.Sprintf("nic%d", id)})
 	}
 }
 

@@ -40,6 +40,7 @@ package ring
 import (
 	"fmt"
 
+	"ringmesh/internal/metrics"
 	"ringmesh/internal/packet"
 	"ringmesh/internal/sim"
 	"ringmesh/internal/stats"
@@ -144,6 +145,23 @@ type sstation struct {
 	inject []*spktQueue
 
 	util *stats.Utilization
+
+	// stall, when non-nil (metrics enabled, NIC stations only), counts
+	// slot-steps where a whole packet was ready to inject but the
+	// passing slot could not take it (occupied, or the admission rule
+	// refused).
+	stall *metrics.Counter
+}
+
+// hasReady reports whether any inject queue holds a packet injectable
+// at tick now. Only evaluated when the stall counter is attached.
+func (s *sstation) hasReady(now int64) bool {
+	for _, q := range s.inject {
+		if _, ok := q.peek(now); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // exitQueueFor picks the transfer queue matching a packet's class.
@@ -188,6 +206,13 @@ func (r *sring) slotAt(i int) *sslot {
 	return &r.slots[(r.headPos+i)%len(r.slots)]
 }
 
+// siri groups one inter-ring interface's transfer queues for metrics
+// and diagnostics (the stations hold the same queues for switching).
+type siri struct {
+	lo, hi                           int
+	upResp, upReq, downResp, downReq *spktQueue
+}
+
 // SlottedNetwork is the hierarchical ring interconnect under slotted
 // switching, as a sim.Component.
 type SlottedNetwork struct {
@@ -196,6 +221,7 @@ type SlottedNetwork struct {
 	rings    []*sring
 	stations []*sstation
 	nics     []*snic
+	iris     []*siri
 	engine   *sim.Engine
 	tracer   *trace.Recorder
 
@@ -282,6 +308,8 @@ func (n *SlottedNetwork) buildRing(level, base int, pms []PMPort, parentLower *s
 			upReq := newSPktQueue(slottedIRIDepth)
 			downResp := newSPktQueue(slottedIRIDepth)
 			downReq := newSPktQueue(slottedIRIDepth)
+			n.iris = append(n.iris, &siri{lo: lo, hi: hi,
+				upResp: upResp, upReq: upReq, downResp: downResp, downReq: downReq})
 
 			upper := &sstation{
 				name:  fmt.Sprintf("siri[%d,%d).up", lo, hi),
@@ -355,12 +383,16 @@ func (n *SlottedNetwork) stepRing(r *sring, now int64) {
 		st.util.Tick(1)
 		slot := r.slotAt(i)
 		busy := slot.pkt != nil
+		injected := false
 		if slot.pkt != nil {
 			n.processOccupied(r, st, slot, now)
 		}
 		if slot.pkt == nil {
-			n.tryInject(r, st, slot, now)
-			busy = busy || slot.pkt != nil
+			injected = n.tryInject(r, st, slot, now)
+			busy = busy || injected
+		}
+		if st.stall != nil && !injected && st.hasReady(now) {
+			st.stall.Inc()
 		}
 		if busy {
 			st.util.Busy(1)
@@ -393,8 +425,8 @@ func (n *SlottedNetwork) processOccupied(r *sring, st *sstation, slot *sslot, no
 }
 
 // tryInject fills an empty slot with a whole waiting packet
-// (responses before requests).
-func (n *SlottedNetwork) tryInject(r *sring, st *sstation, slot *sslot, now int64) {
+// (responses before requests) and reports whether one was injected.
+func (n *SlottedNetwork) tryInject(r *sring, st *sstation, slot *sslot, now int64) bool {
 	for _, q := range st.inject {
 		head, ok := q.peek(now)
 		if !ok || !r.mayAdmit(head) {
@@ -405,8 +437,9 @@ func (n *SlottedNetwork) tryInject(r *sring, st *sstation, slot *sslot, now int6
 		r.occupied++
 		n.tracer.Record(now, trace.Inject, head, st.name)
 		n.moved++
-		return
+		return true
 	}
+	return false
 }
 
 // refillNIC loads pending packets from the PM into free NIC output
@@ -423,6 +456,46 @@ func (n *SlottedNetwork) refillNIC(nc *snic, now int64) {
 			nc.pm.PopPendingRequest()
 			nc.outReq.push(p, now+1)
 		}
+	}
+}
+
+// DescribeMetrics registers the slotted model's instruments under the
+// same names and labels as the wormhole model (per-level slot
+// utilization as ring_link_util, per-IRI transfer-queue occupancy in
+// flits, per-NIC injection stalls counted in slot-steps), so the two
+// switching techniques export directly comparable telemetry.
+// Nil-safe.
+func (n *SlottedNetwork) DescribeMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	perLevel := make([][]*stats.Utilization, n.cfg.Spec.NumLevels())
+	for _, st := range n.stations {
+		perLevel[st.level] = append(perLevel[st.level], st.util)
+	}
+	for lvl, backing := range perLevel {
+		reg.Ratio("ring_link_util", metrics.Labels{Link: levelLabel(lvl)}, backing...)
+	}
+	for _, ir := range n.iris {
+		node := fmt.Sprintf("iri[%d,%d)", ir.lo, ir.hi)
+		for _, q := range []struct {
+			queue        *spktQueue
+			kind, class string
+		}{
+			{ir.upReq, "up", "req"},
+			{ir.upResp, "up", "rsp"},
+			{ir.downReq, "down", "req"},
+			{ir.downResp, "down", "rsp"},
+		} {
+			queue := q.queue
+			reg.Gauge("iri_queue_flits",
+				metrics.Labels{Node: node, Queue: q.kind, Class: q.class},
+				func() float64 { return float64(queue.bufferedFlits()) })
+		}
+	}
+	for id, nc := range n.nics {
+		nc.st.stall = reg.Counter("nic_inject_stall_cycles",
+			metrics.Labels{Node: fmt.Sprintf("nic%d", id)})
 	}
 }
 

@@ -56,6 +56,7 @@ package ring
 import (
 	"fmt"
 
+	"ringmesh/internal/metrics"
 	"ringmesh/internal/packet"
 	"ringmesh/internal/stats"
 	"ringmesh/internal/trace"
@@ -187,6 +188,13 @@ type station struct {
 
 	util   *stats.Utilization
 	tracer *trace.Recorder
+
+	// stall, when non-nil (metrics enabled, NIC stations only), counts
+	// injection-stall cycles: active cycles where an injection queue
+	// held a whole packet but no injection-queue flit crossed the
+	// output link (either nothing moved or transit traffic won the
+	// link).
+	stall *metrics.Counter
 }
 
 func newStation(name string, level int, clFlits int) *station {
@@ -337,6 +345,9 @@ func (s *station) accepts(f packet.Flit, v int, fromInject bool) (routeKind, boo
 // Returns true when a flit moved (for the engine's progress counter).
 func (s *station) commit(now int64) bool {
 	s.util.Tick(1)
+	if s.stall != nil && (!s.staged || s.stagedSrc == nil) && s.injectWaiting() {
+		s.stall.Inc()
+	}
 	if !s.staged {
 		return false
 	}
@@ -401,6 +412,19 @@ func (s *station) receive(f packet.Flit, v int, route routeKind, now int64) {
 		return
 	}
 	vc.buf.Push(f)
+}
+
+// injectWaiting reports whether any injection queue holds flits —
+// with the staged-source check in commit, a true result on a cycle
+// that moved no injection flit is an injection stall. Only evaluated
+// when the stall counter is attached (metrics enabled).
+func (s *station) injectWaiting() bool {
+	for _, q := range s.inject {
+		if q.Len() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // bufferedFlits counts flits resident in this station's transit

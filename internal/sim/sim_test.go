@@ -291,3 +291,52 @@ func TestUniformFastPathEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestOnCycleFiresWhileStalled checks that the observability hook
+// keeps firing on ticks with zero movement, up to and including the
+// tick where the watchdog trips: a stall is exactly when you want the
+// metrics sampler to still be recording.
+func TestOnCycleFiresWhileStalled(t *testing.T) {
+	var e Engine
+	mover := &componentFunc{commit: func(now int64) {
+		if now < 3 {
+			e.Progress()
+		}
+	}}
+	e.Register(mover, 1)
+	e.WatchdogTicks = 4
+	e.InFlight = func() bool { return true } // packets "stuck" in flight
+	var ticks []int64
+	var moved []uint64
+	e.OnCycle = func(now int64, m uint64) {
+		ticks = append(ticks, now)
+		moved = append(moved, m)
+	}
+	err := e.Run(100)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	// Moves at ticks 0..2, then WatchdogTicks stalled ticks (3..6)
+	// until the trip after the Step completing tick 6 (lastMoveTick=2,
+	// trip when now-2 > 4).
+	if len(ticks) == 0 {
+		t.Fatal("OnCycle never fired")
+	}
+	last := len(ticks) - 1
+	if moved[last] != 0 {
+		t.Fatalf("final tick %d moved %d flits, want 0 (stalled)", ticks[last], moved[last])
+	}
+	stalledTicks := 0
+	for i, m := range moved {
+		if ticks[i] != int64(i) {
+			t.Fatalf("hook skipped a tick: ticks=%v", ticks)
+		}
+		if m == 0 {
+			stalledTicks++
+		}
+	}
+	if stalledTicks != int(e.WatchdogTicks) {
+		t.Fatalf("hook saw %d zero-movement ticks, want %d (ticks=%v moved=%v)",
+			stalledTicks, e.WatchdogTicks, ticks, moved)
+	}
+}

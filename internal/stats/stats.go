@@ -231,6 +231,10 @@ func (u *Utilization) Value() float64 {
 // Percent returns the utilization as a percentage.
 func (u *Utilization) Percent() float64 { return 100 * u.Value() }
 
+// Counts returns the raw busy and capacity counters (for windowed
+// samplers that difference successive snapshots).
+func (u *Utilization) Counts() (busy, capacity int64) { return u.busy, u.capacity }
+
 // Reset clears the counters.
 func (u *Utilization) Reset() { *u = Utilization{} }
 

@@ -324,3 +324,33 @@ func TestBatchMeansCorrelated(t *testing.T) {
 		t.Fatal("two batches cannot be judged correlated")
 	}
 }
+
+// TestUtilizationMergeZeroCapacity covers merging with zero-capacity
+// operands in every direction: an unticked counter must act as the
+// identity and never poison the merged ratio with a 0/0 division.
+func TestUtilizationMergeZeroCapacity(t *testing.T) {
+	var active Utilization
+	active.Tick(10)
+	active.Busy(5)
+
+	var empty Utilization
+	active.Merge(&empty) // zero-capacity right operand: identity
+	if !almostEq(active.Value(), 0.5, 1e-12) {
+		t.Fatalf("merge with empty changed value: %v", active.Value())
+	}
+
+	var dst Utilization
+	dst.Merge(&active) // zero-capacity left operand: adopts the right
+	if !almostEq(dst.Value(), 0.5, 1e-12) {
+		t.Fatalf("empty.Merge(active) = %v, want 0.5", dst.Value())
+	}
+
+	var a, b Utilization
+	a.Merge(&b) // both empty: still defined, still zero
+	if a.Value() != 0 || a.Percent() != 0 {
+		t.Fatalf("empty merge produced %v", a.Value())
+	}
+	if busy, capacity := a.Counts(); busy != 0 || capacity != 0 {
+		t.Fatalf("empty merge counts = %d/%d", busy, capacity)
+	}
+}

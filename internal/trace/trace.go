@@ -72,15 +72,23 @@ func (e Event) String() string {
 // capacity (hop events are plentiful).
 const DefaultCap = 1 << 20
 
-// Recorder accumulates events up to a capacity; once full, further
-// events are counted but dropped.
+// Recorder accumulates events up to a capacity. Once full, the
+// default mode counts and drops new events (keeping the oldest — the
+// run's beginning); KeepLatest instead overwrites the oldest so the
+// retained window always ends at the most recent event.
 type Recorder struct {
 	// Cap bounds retained events (0 = DefaultCap).
 	Cap int
 	// OnlyPacket, when non-zero, restricts recording to one packet id.
 	OnlyPacket uint64
+	// KeepLatest switches the full recorder to a ring buffer: new
+	// events overwrite the oldest instead of being dropped. Useful
+	// when the interesting window is the end of the run (a stall, a
+	// saturation collapse) rather than its start.
+	KeepLatest bool
 
 	events  []Event
+	start   int // ring-buffer read position (KeepLatest, once full)
 	dropped int64
 }
 
@@ -97,23 +105,40 @@ func (r *Recorder) Record(tick int64, kind Kind, p *packet.Packet, where string)
 	if max <= 0 {
 		max = DefaultCap
 	}
+	ev := Event{
+		Tick: tick, Kind: kind, Packet: p.ID, Type: p.Type,
+		Src: p.Src, Dst: p.Dst, Where: where,
+	}
 	if len(r.events) >= max {
+		if !r.KeepLatest {
+			r.dropped++
+			return
+		}
+		// Ring-buffer mode: overwrite the oldest retained event.
+		r.events[r.start] = ev
+		r.start = (r.start + 1) % len(r.events)
 		r.dropped++
 		return
 	}
-	r.events = append(r.events, Event{
-		Tick: tick, Kind: kind, Packet: p.ID, Type: p.Type,
-		Src: p.Src, Dst: p.Dst, Where: where,
-	})
+	r.events = append(r.events, ev)
 }
 
-// Events returns the recorded events in order.
+// ordered returns the retained events oldest-first without copying;
+// the two slices are consecutive chunks of the ring buffer (the
+// second is empty until a KeepLatest recorder wraps).
+func (r *Recorder) ordered() ([]Event, []Event) {
+	return r.events[r.start:], r.events[:r.start]
+}
+
+// Events returns the recorded events in order (oldest first).
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	a, b := r.ordered()
+	out := make([]Event, 0, len(r.events))
+	out = append(out, a...)
+	out = append(out, b...)
 	return out
 }
 
@@ -131,9 +156,12 @@ func (r *Recorder) Timeline(packetID uint64) []Event {
 		return nil
 	}
 	var out []Event
-	for _, e := range r.events {
-		if e.Packet == packetID {
-			out = append(out, e)
+	a, b := r.ordered()
+	for _, chunk := range [][]Event{a, b} {
+		for _, e := range chunk {
+			if e.Packet == packetID {
+				out = append(out, e)
+			}
 		}
 	}
 	return out
@@ -147,27 +175,39 @@ func (r *Recorder) PacketIDs() []uint64 {
 	}
 	seen := map[uint64]bool{}
 	var out []uint64
-	for _, e := range r.events {
-		if !seen[e.Packet] {
-			seen[e.Packet] = true
-			out = append(out, e.Packet)
+	a, b := r.ordered()
+	for _, chunk := range [][]Event{a, b} {
+		for _, e := range chunk {
+			if !seen[e.Packet] {
+				seen[e.Packet] = true
+				out = append(out, e.Packet)
+			}
 		}
 	}
 	return out
 }
 
-// Write renders all events, one per line.
+// Write renders all retained events oldest-first, one per line,
+// followed by a note counting events lost to the capacity bound (the
+// newest in the default mode, the oldest under KeepLatest).
 func (r *Recorder) Write(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	for _, e := range r.events {
-		if _, err := fmt.Fprintln(w, e); err != nil {
-			return err
+	a, b := r.ordered()
+	for _, chunk := range [][]Event{a, b} {
+		for _, e := range chunk {
+			if _, err := fmt.Fprintln(w, e); err != nil {
+				return err
+			}
 		}
 	}
 	if r.dropped > 0 {
-		if _, err := fmt.Fprintf(w, "(%d events dropped beyond capacity)\n", r.dropped); err != nil {
+		note := "dropped beyond capacity; oldest retained"
+		if r.KeepLatest {
+			note = "overwritten beyond capacity; latest retained"
+		}
+		if _, err := fmt.Fprintf(w, "(%d events %s)\n", r.dropped, note); err != nil {
 			return err
 		}
 	}

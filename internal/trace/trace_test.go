@@ -71,6 +71,69 @@ func TestCapacityDrop(t *testing.T) {
 	}
 }
 
+func TestKeepLatestWrapAround(t *testing.T) {
+	r := &Recorder{Cap: 3, KeepLatest: true}
+	for i := 0; i < 8; i++ {
+		r.Record(int64(i), Hop, pkt(uint64(i)), "x")
+	}
+	evts := r.Events()
+	if len(evts) != 3 {
+		t.Fatalf("events = %d, want 3", len(evts))
+	}
+	// The retained window must be the newest three, oldest first.
+	for i, want := range []int64{5, 6, 7} {
+		if evts[i].Tick != want {
+			t.Fatalf("events[%d].Tick = %d, want %d (got %v)", i, evts[i].Tick, want, evts)
+		}
+	}
+	if r.Dropped() != 5 {
+		t.Fatalf("dropped = %d, want 5", r.Dropped())
+	}
+	// Timeline and PacketIDs follow the same oldest-first order.
+	ids := r.PacketIDs()
+	if len(ids) != 3 || ids[0] != 5 || ids[1] != 6 || ids[2] != 7 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if tl := r.Timeline(6); len(tl) != 1 || tl[0].Tick != 6 {
+		t.Fatalf("timeline = %v", tl)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "5 events overwritten") {
+		t.Fatalf("overwrite note missing:\n%s", out)
+	}
+	// Lines must render oldest-first even after the buffer wrapped.
+	if i5, i7 := strings.Index(out, "t=5"), strings.Index(out, "t=7"); i5 < 0 || i7 < 0 || i5 > i7 {
+		t.Fatalf("wrapped order wrong:\n%s", out)
+	}
+}
+
+func TestKeepLatestBelowCapacity(t *testing.T) {
+	r := &Recorder{Cap: 8, KeepLatest: true}
+	for i := 0; i < 3; i++ {
+		r.Record(int64(i), Hop, pkt(1), "x")
+	}
+	evts := r.Events()
+	if len(evts) != 3 || r.Dropped() != 0 {
+		t.Fatalf("events=%d dropped=%d", len(evts), r.Dropped())
+	}
+	for i, e := range evts {
+		if e.Tick != int64(i) {
+			t.Fatalf("events[%d].Tick = %d", i, e.Tick)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "overwritten") {
+		t.Fatalf("unexpected overwrite note:\n%s", buf.String())
+	}
+}
+
 func TestEventString(t *testing.T) {
 	e := Event{Tick: 7, Kind: Hop, Packet: 9, Type: packet.ReadResponse, Src: 1, Dst: 2, Where: "nic1->nic2"}
 	s := e.String()

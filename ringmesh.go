@@ -36,7 +36,11 @@
 package ringmesh
 
 import (
+	"fmt"
+	"io"
+
 	"ringmesh/internal/core"
+	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
 	"ringmesh/internal/topo"
 	"ringmesh/internal/trace"
@@ -127,6 +131,16 @@ type Config struct {
 	Trace bool
 	// TraceOnlyPacket restricts tracing to one packet id (0 = all).
 	TraceOnlyPacket uint64
+	// Metrics enables the instrument registry: per-link utilization,
+	// queue occupancy and stall counters, sampled every
+	// MetricsIntervalCycles and exportable via System.WriteMetricsCSV,
+	// WriteMetricsJSONL and WriteMetricsSnapshot. Disabled (the
+	// default), instrumentation costs nothing: the models hold nil
+	// counters whose methods no-op.
+	Metrics bool
+	// MetricsIntervalCycles is the sampling period in PM clock cycles
+	// (0 = default 100). Only meaningful with Metrics set.
+	MetricsIntervalCycles int64
 }
 
 // RingConfig describes a hierarchical-ring system.
@@ -373,6 +387,14 @@ func recorderFor(on bool, only uint64) *trace.Recorder {
 // cfg.Network, resolved through the topology registry.
 func NewSystem(cfg Config) (*System, error) {
 	rec := recorderFor(cfg.Trace, cfg.TraceOnlyPacket)
+	var reg *metrics.Registry
+	interval := cfg.MetricsIntervalCycles
+	if cfg.Metrics {
+		reg = &metrics.Registry{}
+		if interval <= 0 {
+			interval = 100
+		}
+	}
 	sys, err := core.NewSystem(core.SystemConfig{
 		Network: cfg.Network,
 		Net: network.Config{
@@ -383,11 +405,13 @@ func NewSystem(cfg Config) (*System, error) {
 			DoubleSpeedGlobal: cfg.DoubleSpeedGlobal,
 			SlottedSwitching:  cfg.SlottedSwitching,
 		},
-		Workload:   cfg.Workload.internal(),
-		MemLatency: cfg.MemLatencyCycles,
-		Seed:       cfg.Seed,
-		Histogram:  cfg.Histogram,
-		Tracer:     rec,
+		Workload:        cfg.Workload.internal(),
+		MemLatency:      cfg.MemLatencyCycles,
+		Seed:            cfg.Seed,
+		Histogram:       cfg.Histogram,
+		Tracer:          rec,
+		Metrics:         reg,
+		MetricsInterval: interval,
 	})
 	if err != nil {
 		return nil, err
@@ -425,10 +449,77 @@ func (s *System) StepCycles(n int64) error { return s.inner.StepCycles(n) }
 // OnCycle registers f to be called once at the end of every engine
 // tick with the tick just completed and the number of flit movements
 // it produced — the per-cycle observability hook for instantaneous
-// load traces. Pass nil to detach. Note that ticks run faster than PM
-// cycles on double-speed-global configurations.
+// load traces. Pass nil to detach. The hook composes with the metrics
+// sampler, so both can observe every tick. Note that ticks run faster
+// than PM cycles on double-speed-global configurations.
 func (s *System) OnCycle(f func(tick int64, flitsMoved uint64)) {
-	s.inner.Engine().OnCycle = f
+	s.inner.OnCycle(f)
+}
+
+// MetricSample is one sampled metrics row (see Config.Metrics).
+type MetricSample struct {
+	// Cycle is the PM clock cycle of the sample (ticks divided by the
+	// ticks-per-cycle factor, so values are comparable across
+	// double-speed-global configurations).
+	Cycle int64
+	// Values holds one value per MetricNames entry, index-aligned:
+	// windowed utilization in [0,1] for ratio series, windowed deltas
+	// for counters, instantaneous readings for gauges.
+	Values []float64
+}
+
+// MetricNames returns the sampled series keys, e.g.
+// "ring_link_util{link=L0}", in registration order (nil unless the
+// system was built with Metrics).
+func (s *System) MetricNames() []string {
+	return s.inner.Sampler().Keys()
+}
+
+// MetricSamples returns the time series collected so far, one row per
+// sampling interval (nil unless the system was built with Metrics).
+// Rows recorded before a Run's warmup are discarded together with the
+// warmup batch.
+func (s *System) MetricSamples() []MetricSample {
+	raw := s.inner.Sampler().Samples()
+	if raw == nil {
+		return nil
+	}
+	tpc := s.inner.TicksPerCycle()
+	out := make([]MetricSample, len(raw))
+	for i, r := range raw {
+		out[i] = MetricSample{Cycle: (r.Tick + 1) / tpc, Values: r.Values}
+	}
+	return out
+}
+
+// WriteMetricsCSV writes the sampled time series as CSV (tick column
+// plus one column per series key). It errors unless the system was
+// built with Metrics.
+func (s *System) WriteMetricsCSV(w io.Writer) error {
+	if samp := s.inner.Sampler(); samp != nil {
+		return samp.WriteCSV(w)
+	}
+	return fmt.Errorf("ringmesh: metrics disabled (set Config.Metrics)")
+}
+
+// WriteMetricsJSONL writes the sampled time series as JSON Lines, one
+// object per sampling interval. It errors unless the system was built
+// with Metrics.
+func (s *System) WriteMetricsJSONL(w io.Writer) error {
+	if samp := s.inner.Sampler(); samp != nil {
+		return samp.WriteJSONL(w)
+	}
+	return fmt.Errorf("ringmesh: metrics disabled (set Config.Metrics)")
+}
+
+// WriteMetricsSnapshot writes a one-shot Prometheus-style text
+// snapshot of every instrument's cumulative value. It errors unless
+// the system was built with Metrics.
+func (s *System) WriteMetricsSnapshot(w io.Writer) error {
+	if reg := s.inner.Metrics(); reg != nil {
+		return reg.WriteText(w)
+	}
+	return fmt.Errorf("ringmesh: metrics disabled (set Config.Metrics)")
 }
 
 // PMs returns the number of processing modules.

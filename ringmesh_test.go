@@ -1,6 +1,8 @@
 package ringmesh
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -383,5 +385,121 @@ func TestSweepReportsAllErrors(t *testing.T) {
 	}
 	if !strings.Contains(msg, "square") {
 		t.Errorf("joined error %q lost the underlying cause", msg)
+	}
+}
+
+// TestSweepTelemetry checks the per-point JSONL stream: one valid
+// line per completed point carrying the summary measurements.
+func TestSweepTelemetry(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := SweepSizes(Config{
+		Network:   "ring",
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      3,
+	}, []int{8, 16}, SweepOptions{Run: QuickRunOptions(), Workers: 2, Telemetry: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(pts) {
+		t.Fatalf("%d telemetry lines for %d points:\n%s", len(lines), len(pts), buf.String())
+	}
+	byNodes := map[int]SweepPoint{}
+	for _, p := range pts {
+		byNodes[p.Nodes] = p
+	}
+	for _, line := range lines {
+		var tele struct {
+			Nodes      int     `json:"nodes"`
+			Topology   string  `json:"topology"`
+			Latency    float64 `json:"latency_cycles"`
+			Throughput float64 `json:"throughput"`
+		}
+		if err := json.Unmarshal([]byte(line), &tele); err != nil {
+			t.Fatalf("bad telemetry line %q: %v", line, err)
+		}
+		p, ok := byNodes[tele.Nodes]
+		if !ok {
+			t.Fatalf("telemetry for unknown point %d", tele.Nodes)
+		}
+		if tele.Topology != p.Topology || tele.Latency != p.Result.LatencyCycles ||
+			tele.Throughput != p.Result.Throughput {
+			t.Fatalf("telemetry %+v disagrees with point %+v", tele, p)
+		}
+	}
+}
+
+// TestMetricsDisabledAccessors checks the facade's behaviour without
+// Config.Metrics: empty series, and exporters that error rather than
+// writing empty files.
+func TestMetricsDisabledAccessors(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Network: "ring", Topology: "4", LineBytes: 32,
+		Workload: PaperWorkload(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := sys.MetricNames(); names != nil {
+		t.Fatalf("MetricNames without metrics = %v", names)
+	}
+	if samples := sys.MetricSamples(); samples != nil {
+		t.Fatalf("MetricSamples without metrics = %v", samples)
+	}
+	var buf bytes.Buffer
+	if err := sys.WriteMetricsCSV(&buf); err == nil {
+		t.Fatal("WriteMetricsCSV should error when metrics are disabled")
+	}
+	if err := sys.WriteMetricsJSONL(&buf); err == nil {
+		t.Fatal("WriteMetricsJSONL should error when metrics are disabled")
+	}
+	if err := sys.WriteMetricsSnapshot(&buf); err == nil {
+		t.Fatal("WriteMetricsSnapshot should error when metrics are disabled")
+	}
+}
+
+// TestMetricsExportAndUserHookCompose runs a metrics-enabled system
+// with a user OnCycle hook attached and checks both observe the run:
+// the sampler and the hook share the engine's single hook slot via
+// composition, not replacement.
+func TestMetricsExportAndUserHookCompose(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Network: "ring", Topology: "2:3:4", LineBytes: 32,
+		Workload: PaperWorkload(), Seed: 9,
+		Metrics: true, MetricsIntervalCycles: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hookCalls := 0
+	sys.OnCycle(func(tick int64, moved uint64) { hookCalls++ })
+	if err := sys.StepCycles(200); err != nil {
+		t.Fatal(err)
+	}
+	if hookCalls != 200 {
+		t.Fatalf("user hook fired %d times, want 200", hookCalls)
+	}
+	if n := len(sys.MetricSamples()); n != 4 {
+		t.Fatalf("sampler rows = %d, want 4", n)
+	}
+	var csv, jsonl, snap bytes.Buffer
+	if err := sys.WriteMetricsCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WriteMetricsJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WriteMetricsSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "tick,") {
+		t.Fatalf("csv header missing:\n%s", csv.String())
+	}
+	if lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n"); len(lines) != 4 {
+		t.Fatalf("jsonl rows = %d, want 4", len(lines))
+	}
+	if !strings.Contains(snap.String(), "# TYPE ring_link_util gauge") {
+		t.Fatalf("snapshot missing TYPE line:\n%s", snap.String())
 	}
 }

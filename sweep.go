@@ -1,8 +1,10 @@
 package ringmesh
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 )
@@ -24,6 +26,27 @@ type SweepOptions struct {
 	Run RunOptions
 	// Workers bounds concurrent simulations (0 = 1).
 	Workers int
+	// Telemetry, when non-nil, receives one JSON line per completed
+	// point as it finishes (summary latency, throughput and
+	// utilization — see sweepTelemetry). Lines arrive in completion
+	// order, not size order; writes are serialized, so any io.Writer
+	// is safe.
+	Telemetry io.Writer
+}
+
+// sweepTelemetry is the per-point summary emitted on
+// SweepOptions.Telemetry.
+type sweepTelemetry struct {
+	Nodes        int       `json:"nodes"`
+	Topology     string    `json:"topology"`
+	Latency      float64   `json:"latency_cycles"`
+	LatencyCI95  float64   `json:"latency_ci95"`
+	Throughput   float64   `json:"throughput"`
+	RingUtil     []float64 `json:"ring_util,omitempty"`
+	MeshUtil     float64   `json:"mesh_util,omitempty"`
+	Observations int64     `json:"observations"`
+	Saturated    bool      `json:"saturated,omitempty"`
+	Stalled      bool      `json:"stalled,omitempty"`
 }
 
 // DefaultSweepOptions pairs the default run schedule with modest
@@ -108,6 +131,12 @@ func sweep(sizes []int, opt SweepOptions, point func(int) (SweepPoint, error)) (
 				errs = append(errs, err)
 				return
 			}
+			if opt.Telemetry != nil {
+				if terr := writeTelemetry(opt.Telemetry, p); terr != nil {
+					errs = append(errs, fmt.Errorf("ringmesh: telemetry: size %d: %w", n, terr))
+					return
+				}
+			}
 			out = append(out, p)
 		}()
 	}
@@ -120,4 +149,26 @@ func sweep(sizes []int, opt SweepOptions, point func(int) (SweepPoint, error)) (
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Nodes < out[j].Nodes })
 	return out, nil
+}
+
+// writeTelemetry emits one JSON line summarizing a finished sweep
+// point. Called with the sweep mutex held.
+func writeTelemetry(w io.Writer, p SweepPoint) error {
+	line, err := json.Marshal(sweepTelemetry{
+		Nodes:        p.Nodes,
+		Topology:     p.Topology,
+		Latency:      p.Result.LatencyCycles,
+		LatencyCI95:  p.Result.LatencyCI95,
+		Throughput:   p.Result.Throughput,
+		RingUtil:     p.Result.RingUtilization,
+		MeshUtil:     p.Result.MeshUtilization,
+		Observations: p.Result.Observations,
+		Saturated:    p.Result.Saturated,
+		Stalled:      p.Result.Stalled,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", line)
+	return err
 }
