@@ -9,19 +9,37 @@
 //	ringmesh -net ring -topo 5:3:4 -line 128 -double-global
 //	ringmesh -net mesh -nodes 64 -line 64 -buf 4 -R 0.3 -T 2
 //	ringmesh -net mesh -topo 8x8 -line 32
+//	ringmesh -net ring -topo 2:4 -fault-plan 'stutter@2000+1000:node=3'
+//	ringmesh -net mesh -topo 8x8 -timeout 30s
+//
+// Exit codes: 0 success, 1 runtime failure, 2 configuration error,
+// 3 stall (watchdog tripped; forensic summary goes to stderr).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ringmesh/internal/core"
+	"ringmesh/internal/fault"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
+	"ringmesh/internal/sim"
 	"ringmesh/internal/trace"
 	"ringmesh/internal/workload"
+)
+
+// Exit codes. Scripts sweeping parameter spaces branch on these to
+// tell "this configuration is invalid" from "this configuration
+// deadlocked" without parsing stderr.
+const (
+	exitRuntime = 1
+	exitConfig  = 2
+	exitStall   = 3
 )
 
 func main() {
@@ -45,14 +63,27 @@ func main() {
 		batches = flag.Int("batches", 8, "retained batches")
 		tracePk = flag.Uint64("trace-packet", 0, "print the lifecycle of this packet id (0 = off)")
 
+		faultPlan = flag.String("fault-plan", "", `fault plan DSL: ";"-separated events "kind@start+dur:node=N[,port=P][,factor=F]" (kinds stutter/slowdown/degrade), or "rand:events=E,seed=S,horizon=H"`)
+		timeout   = flag.Duration("timeout", 0, "wall-clock bound for the run, e.g. 30s (0 = none)")
+		noVC      = flag.Bool("unsafe-no-vc", false, "disable the ring's deadlock-avoidance virtual channels (forensics demos; wormhole ring only)")
+
 		metricsOn  = flag.Bool("metrics", false, "collect link/queue/stall instruments and print a snapshot after the run")
 		metricsInt = flag.Int64("metrics-interval", 100, "metrics sampling period in PM cycles (with -metrics)")
 		metricsOut = flag.String("metrics-out", "", "write the sampled metrics time series to this file; .jsonl suffix selects JSON Lines, anything else CSV (with -metrics)")
 	)
 	flag.Parse()
 
+	// Validate what the flag layer owns before constructing anything,
+	// so a typo fails in microseconds with a message naming the flag.
+	plan, err := validateFlags(*faultPlan, *timeout, *rFlag, *cFlag, *tFlag, *readP,
+		*warmup, *batch, *batches, *metricsInt)
+	if err != nil {
+		fail(exitConfig, err)
+	}
+
 	wl := workload.MMRP{R: *rFlag, C: *cFlag, T: *tFlag, ReadProb: *readP}
-	rc := core.RunConfig{WarmupCycles: *warmup, BatchCycles: *batch, Batches: *batches}
+	rc := core.RunConfig{WarmupCycles: *warmup, BatchCycles: *batch, Batches: *batches,
+		Timeout: *timeout}
 	var rec *trace.Recorder
 	if *tracePk != 0 {
 		rec = &trace.Recorder{OnlyPacket: *tracePk}
@@ -77,6 +108,7 @@ func main() {
 			BufferFlits:       *buf,
 			DoubleSpeedGlobal: *dbl,
 			SlottedSwitching:  *slotted,
+			UnsafeNoVC:        *noVC,
 		},
 		Workload:        wl,
 		MemLatency:      *memLat,
@@ -84,14 +116,20 @@ func main() {
 		Tracer:          rec,
 		Metrics:         reg,
 		MetricsInterval: *metricsInt,
+		FaultPlan:       plan,
 	})
 	if err != nil {
-		fail(err)
+		fail(exitConfig, err)
 	}
 
 	res, err := sys.Run(rc)
 	if err != nil {
-		fail(err)
+		var se *sim.StallError
+		if errors.As(err, &se) {
+			fmt.Fprintln(os.Stderr, "ringmesh:", se.Report.Summary())
+			fail(exitStall, err)
+		}
+		fail(exitRuntime, err)
 	}
 	fmt.Printf("system:       %s (%d PMs)\n", sys.Describe(), sys.PMs())
 	fmt.Printf("workload:     R=%.2f C=%.3f T=%d read-prob=%.2f\n", wl.R, wl.C, wl.T, wl.ReadProb)
@@ -118,20 +156,16 @@ func main() {
 	if res.Saturated {
 		fmt.Println("note:         network past saturation (processors mostly blocked)")
 	}
-	if res.Stalled {
-		fmt.Println("note:         watchdog tripped (no forward progress)")
-		os.Exit(1)
-	}
 	if rec != nil {
 		fmt.Printf("\ntrace of packet #%d:\n", *tracePk)
 		if err := rec.Write(os.Stdout); err != nil {
-			fail(err)
+			fail(exitRuntime, err)
 		}
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
-			fail(err)
+			fail(exitRuntime, err)
 		}
 		samp := sys.Sampler()
 		if strings.HasSuffix(*metricsOut, ".jsonl") {
@@ -143,7 +177,7 @@ func main() {
 			err = cerr
 		}
 		if err != nil {
-			fail(err)
+			fail(exitRuntime, err)
 		}
 		fmt.Printf("\nmetrics:      %d samples x %d series -> %s\n",
 			len(samp.Samples()), len(samp.Keys()), *metricsOut)
@@ -151,12 +185,52 @@ func main() {
 	if *metricsOn {
 		fmt.Println("\nmetrics snapshot (measured interval):")
 		if err := reg.WriteText(os.Stdout); err != nil {
-			fail(err)
+			fail(exitRuntime, err)
 		}
+	}
+	if res.Stalled {
+		fmt.Println("note:         watchdog tripped (no forward progress)")
+		fmt.Fprintln(os.Stderr, "ringmesh:", res.Stall.Summary())
+		os.Exit(exitStall)
 	}
 }
 
-func fail(err error) {
+// validateFlags checks everything the flag layer owns — value ranges
+// and the fault-plan syntax — before a system is built. Topology and
+// line-size checks stay with the models, which own those rules.
+func validateFlags(faultPlan string, timeout time.Duration, r, c float64, t int,
+	readP float64, warmup, batch int64, batches int, metricsInt int64) (*fault.Plan, error) {
+	switch {
+	case r < 0 || r > 1:
+		return nil, fmt.Errorf("-R %g outside [0,1]", r)
+	case c <= 0 || c > 1:
+		return nil, fmt.Errorf("-C %g outside (0,1]", c)
+	case t < 1:
+		return nil, fmt.Errorf("-T %d < 1", t)
+	case readP < 0 || readP > 1:
+		return nil, fmt.Errorf("-read-prob %g outside [0,1]", readP)
+	case warmup < 0:
+		return nil, fmt.Errorf("-warmup %d < 0", warmup)
+	case batch < 1:
+		return nil, fmt.Errorf("-batch %d < 1", batch)
+	case batches < 1:
+		return nil, fmt.Errorf("-batches %d < 1", batches)
+	case timeout < 0:
+		return nil, fmt.Errorf("-timeout %s < 0", timeout)
+	case metricsInt < 1:
+		return nil, fmt.Errorf("-metrics-interval %d < 1", metricsInt)
+	}
+	if faultPlan == "" {
+		return nil, nil
+	}
+	plan, err := fault.Parse(faultPlan)
+	if err != nil {
+		return nil, fmt.Errorf("-fault-plan: %w", err)
+	}
+	return plan, nil
+}
+
+func fail(code int, err error) {
 	fmt.Fprintln(os.Stderr, "ringmesh:", err)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -1,0 +1,308 @@
+package ringmesh
+
+// Facade-level fault-injection, forensics and sweep-hardening tests.
+// Golden compatibility (an enabled-but-empty plan changing nothing)
+// lives in golden_test.go next to the pinned results.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stressWorkload drives every PM at full load so fault effects are
+// visible immediately.
+func stressWorkload() Workload {
+	return Workload{R: 1, C: 1, T: 16, ReadProb: 0.7}
+}
+
+// TestFaultPlanDeterminism: the same (plan, seed) must reproduce the
+// run bit for bit, and an effective fault must actually change the
+// measurements relative to the fault-free run.
+func TestFaultPlanDeterminism(t *testing.T) {
+	cfg := Config{
+		Network:   "ring",
+		Topology:  "2:3:4",
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      7,
+		FaultPlan: "slowdown@500+2000:node=3,factor=4; degrade@1000+1500:node=8,factor=2",
+	}
+	run := func(c Config) Result {
+		res, err := Run(c, QuickRunOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(cfg), run(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same plan and seed diverged:\n%+v\n%+v", a, b)
+	}
+	clean := cfg
+	clean.FaultPlan = ""
+	if c := run(clean); reflect.DeepEqual(a, c) {
+		t.Fatal("fault plan had no effect on the measurements")
+	}
+}
+
+// TestFaultPlanRandDeterminism covers the generated-plan path: a
+// "rand:" plan is a pure function of its own seed, independent of the
+// run seed.
+func TestFaultPlanRandDeterminism(t *testing.T) {
+	cfg := Config{
+		Network:   "mesh",
+		Topology:  "4x4",
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      7,
+		FaultPlan: "rand:events=5,seed=42,horizon=3000",
+	}
+	a, err := Run(cfg, QuickRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, QuickRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same generated plan diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFaultPlanBadSyntaxRejected(t *testing.T) {
+	_, err := NewSystem(Config{
+		Network: "ring", Topology: "2:4", LineBytes: 32,
+		Workload: PaperWorkload(), FaultPlan: "stutter@oops",
+	})
+	if err == nil {
+		t.Fatal("malformed fault plan accepted")
+	}
+	_, err = NewSystem(Config{
+		Network: "ring", Topology: "2:4", LineBytes: 32,
+		Workload: PaperWorkload(), FaultPlan: "stutter@10+10:node=99",
+	})
+	if err == nil {
+		t.Fatal("out-of-range fault node accepted")
+	}
+}
+
+// TestDiagnoseStallFacade: a deliberately deadlocked configuration —
+// VC protection off, a transient dead link at full load — returns an
+// error that unwraps to ErrStalled and carries a diagnosis naming at
+// least one wait-for cycle, retrievable through DiagnoseStall.
+func TestDiagnoseStallFacade(t *testing.T) {
+	cfg := Config{
+		Network:    "ring",
+		Topology:   "2:4",
+		LineBytes:  32,
+		Workload:   stressWorkload(),
+		Seed:       1,
+		UnsafeNoVC: true,
+		FaultPlan:  "stutter@3000+4000:node=0",
+	}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run(RunOptions{WarmupCycles: 2000, BatchCycles: 30000, Batches: 4,
+		WatchdogCycles: 9000, FailOnStall: true})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	diag := DiagnoseStall(err)
+	if diag == nil {
+		t.Fatal("DiagnoseStall returned nil for a stall error")
+	}
+	if len(diag.Cycles) == 0 {
+		t.Fatalf("diagnosis names no wait-for cycle: %s", diag.Summary)
+	}
+	if diag.BufferedFlits == 0 {
+		t.Error("deadlocked network reports no buffered flits")
+	}
+	if diag.Summary == "" {
+		t.Error("empty diagnosis summary")
+	}
+	// Sanity: DiagnoseStall on a non-stall error is nil.
+	if d := DiagnoseStall(fmt.Errorf("unrelated")); d != nil {
+		t.Fatalf("DiagnoseStall(unrelated) = %+v", d)
+	}
+}
+
+func TestRunTimeoutFacade(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Network: "ring", Topology: "2:4", LineBytes: 32,
+		Workload: PaperWorkload(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run(RunOptions{WarmupCycles: 1 << 40, BatchCycles: 1 << 40, Batches: 1,
+		Timeout: time.Millisecond})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestRunContextCancelFacade(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Network: "ring", Topology: "2:4", LineBytes: 32,
+		Workload: PaperWorkload(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sys.RunContext(ctx, RunOptions{WarmupCycles: 1 << 40, BatchCycles: 1 << 40, Batches: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepContinuesPastRuntimeFailure exercises the scheduler's
+// failure classification directly: a runtime failure on one size must
+// not stop the remaining sizes, and the completed points must come
+// back alongside the joined error.
+func TestSweepContinuesPastRuntimeFailure(t *testing.T) {
+	pts, err := sweep(context.Background(), []int{4, 8, 16},
+		SweepOptions{Workers: 2},
+		func(ctx context.Context, n int) (SweepPoint, error) {
+			if n == 8 {
+				return SweepPoint{}, fmt.Errorf("ringmesh: size 8 failed after 3 attempt(s): %w", ErrTimeout)
+			}
+			return SweepPoint{Nodes: n, Topology: fmt.Sprint(n), Attempts: 1}, nil
+		})
+	if err == nil {
+		t.Fatal("failing point reported no error")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("joined error %v does not unwrap to ErrTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "3 attempt(s)") {
+		t.Errorf("error %q does not report the retry count", err)
+	}
+	if len(pts) != 2 || pts[0].Nodes != 4 || pts[1].Nodes != 16 {
+		t.Fatalf("surviving points = %+v, want sizes 4 and 16", pts)
+	}
+}
+
+// TestSweepFatalStopsScheduling: a configuration error on an early
+// size must stop later sizes from being scheduled at all.
+func TestSweepFatalStopsScheduling(t *testing.T) {
+	var ran []int
+	_, err := sweep(context.Background(), []int{4, 8, 16},
+		SweepOptions{Workers: 1},
+		func(ctx context.Context, n int) (SweepPoint, error) {
+			ran = append(ran, n)
+			return SweepPoint{}, &fatalPointError{fmt.Errorf("size %d: bad config", n)}
+		})
+	if err == nil {
+		t.Fatal("fatal point reported no error")
+	}
+	if len(ran) != 1 {
+		t.Fatalf("scheduled %v after a fatal failure, want just the first size", ran)
+	}
+}
+
+// TestSweepPointTimeoutRetries drives the real retry pipeline: every
+// attempt times out, so the point must be retried exactly Retries
+// times on derived seeds and the final error must carry both the
+// timeout and the attempt count.
+func TestSweepPointTimeoutRetries(t *testing.T) {
+	base := Config{Network: "ring", LineBytes: 32, Workload: PaperWorkload(), Seed: 5}
+	pts, err := SweepSizes(base, []int{8}, SweepOptions{
+		Run:          RunOptions{WarmupCycles: 1 << 40, BatchCycles: 1 << 40, Batches: 1},
+		PointTimeout: 2 * time.Millisecond,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+	})
+	if len(pts) != 0 {
+		t.Fatalf("timing-out sweep returned points: %+v", pts)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempt(s)") {
+		t.Fatalf("err %q does not report 3 attempts", err)
+	}
+}
+
+// TestSweepMixedTimeout is the acceptance scenario end to end: one
+// point times out (run schedule far beyond the budget is only
+// reachable for it via per-point wall clock), the rest complete.
+func TestSweepMixedTimeout(t *testing.T) {
+	base := Config{Network: "ring", LineBytes: 32, Workload: PaperWorkload(), Seed: 5}
+	pts, err := sweep(context.Background(), []int{4, 8, 16},
+		SweepOptions{Workers: 3},
+		func(ctx context.Context, n int) (SweepPoint, error) {
+			opt := SweepOptions{Run: QuickRunOptions()}
+			if n == 8 {
+				// This size gets an impossible schedule and a tiny
+				// budget: the real sweepPoint path must time out,
+				// retry on derived seeds, and report the attempts.
+				opt.Run = RunOptions{WarmupCycles: 1 << 40, BatchCycles: 1 << 40, Batches: 1}
+				opt.PointTimeout = 2 * time.Millisecond
+				opt.Retries = 1
+			}
+			return sweepPoint(ctx, base, n, opt)
+		})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "size 8 failed after 2 attempt(s)") {
+		t.Fatalf("err %q does not name size 8 with 2 attempts", err)
+	}
+	if len(pts) != 2 || pts[0].Nodes != 4 || pts[1].Nodes != 16 {
+		t.Fatalf("surviving points = %+v, want sizes 4 and 16", pts)
+	}
+	for _, p := range pts {
+		if p.Attempts != 1 {
+			t.Errorf("size %d Attempts = %d, want 1", p.Nodes, p.Attempts)
+		}
+	}
+}
+
+func TestSweepContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := Config{Network: "ring", LineBytes: 32, Workload: PaperWorkload(), Seed: 1}
+	pts, err := SweepSizesContext(ctx, base, []int{4, 8}, SweepOptions{Run: QuickRunOptions()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(pts) != 0 {
+		t.Fatalf("canceled sweep returned points: %+v", pts)
+	}
+}
+
+// TestSweepCanceledMidSweep cancels after the first point completes:
+// finished work is returned, unstarted sizes never run, and the error
+// wraps context.Canceled.
+func TestSweepCanceledMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran []int
+	pts, err := sweep(ctx, []int{4, 8, 16}, SweepOptions{Workers: 1},
+		func(ctx context.Context, n int) (SweepPoint, error) {
+			ran = append(ran, n)
+			if n == 4 {
+				cancel() // the operator hits ^C while the first point runs
+			}
+			return SweepPoint{Nodes: n, Attempts: 1}, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(ran) != 1 || ran[0] != 4 {
+		t.Fatalf("ran %v after cancellation, want just size 4", ran)
+	}
+	if len(pts) != 1 || pts[0].Nodes != 4 {
+		t.Fatalf("completed points = %+v, want the finished size 4", pts)
+	}
+}

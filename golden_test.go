@@ -139,6 +139,28 @@ func TestGoldenResults(t *testing.T) {
 	}
 }
 
+// TestGoldenResultsWithEmptyFaultPlan re-runs every golden case with
+// fault injection enabled but the plan empty ("none") and demands the
+// same Results bit for bit: the fault subsystem must be zero-cost —
+// and zero-effect — until a plan actually schedules an event.
+func TestGoldenResultsWithEmptyFaultPlan(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := tc.cfg
+			cfg.FaultPlan = "none"
+			got, err := Run(cfg, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("empty fault plan changed the simulation\n got: %#v\nwant: %#v", got, tc.want)
+			}
+		})
+	}
+}
+
 // TestGoldenResultsWithMetrics re-runs every golden case with the
 // instrument registry and sampler attached and demands the same
 // Results bit for bit: metrics are observation-only, so enabling them

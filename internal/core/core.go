@@ -14,8 +14,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
+	"time"
 
+	"ringmesh/internal/fault"
 	"ringmesh/internal/mesh"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
@@ -74,6 +79,12 @@ type SystemConfig struct {
 	// warmup batch is discarded, so its rows cover the measured
 	// interval.
 	MetricsInterval int64
+	// FaultPlan, when non-nil, is installed into the network before
+	// the first tick (the model must implement
+	// network.FaultInjector). An empty plan exercises the subsystem
+	// without scheduling anything and leaves results bit-identical to
+	// a nil plan.
+	FaultPlan *fault.Plan
 }
 
 // NewSystem builds a multiprocessor around any registered
@@ -126,6 +137,17 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		return nil, err
 	}
 	model.SetTracer(cfg.Tracer)
+	if cfg.FaultPlan != nil {
+		inj, ok := model.(network.FaultInjector)
+		if !ok {
+			return nil, fmt.Errorf("core: network %q does not support fault injection", cfg.Network)
+		}
+		// Before DescribeMetrics, so the model can attach its
+		// fault-event counter to the installed schedule.
+		if err := inj.ApplyFaultPlan(cfg.FaultPlan); err != nil {
+			return nil, err
+		}
+	}
 	model.DescribeMetrics(cfg.Metrics)
 	s.metrics = cfg.Metrics
 	if cfg.Metrics != nil && cfg.MetricsInterval > 0 {
@@ -134,6 +156,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	s.net = model
 	s.engine.Register(model, 1)
 	s.engine.InFlight = s.col.InFlight
+	if rep, ok := model.(network.StallReporter); ok {
+		engine := s.engine
+		s.engine.Diagnose = func() *sim.StallReport { return rep.BuildStallReport(engine.Now()) }
+	}
 	s.wireOnCycle()
 	return s, nil
 }
@@ -299,6 +325,16 @@ type RunConfig struct {
 	Batches int
 	// WatchdogCycles stalls-detection horizon (0 = default 20000).
 	WatchdogCycles int64
+	// Timeout bounds the run's wall-clock time; exceeding it aborts
+	// with an error wrapping ErrTimeout (0 = no limit). The deadline
+	// is checked between 1024-cycle chunks, so simulation results are
+	// unaffected for runs that finish in time.
+	Timeout time.Duration
+	// FailOnStall turns a watchdog trip into a returned error (the
+	// model's *sim.StallError when it can diagnose itself) instead of
+	// the default Result.Stalled marker that lets sweeps plot
+	// saturation points.
+	FailOnStall bool
 }
 
 // DefaultRunConfig returns run lengths that give tight confidence
@@ -353,6 +389,9 @@ type Result struct {
 	// Stalled is set when the deadlock watchdog tripped; the other
 	// fields then describe the run up to the stall.
 	Stalled bool
+	// Stall carries the model's forensic snapshot when Stalled is set
+	// and the model implements network.StallReporter; nil otherwise.
+	Stall *sim.StallReport
 	// Saturated is set when processors spent most of their time
 	// blocked on the T-window: the realized miss-generation rate fell
 	// below half the configured rate C, so the network is past its
@@ -361,10 +400,83 @@ type Result struct {
 	Saturated bool
 }
 
+// ErrTimeout marks a run aborted for exceeding RunConfig.Timeout.
+var ErrTimeout = errors.New("core: run exceeded its wall-clock timeout")
+
+// PanicError is a model panic recovered at the Run boundary: the
+// panic value and stack, plus the network's forensic snapshot when it
+// could produce one over its (possibly inconsistent) state.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+	// Report is the network's stall report, when one could be built.
+	Report *sim.StallReport
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: model panic: %v", e.Value)
+}
+
+// runCycles advances n PM cycles in chunks, honouring cancellation
+// and the wall-clock deadline between chunks. Chunking is invisible
+// to the simulation: the engine steps the same ticks in the same
+// order as one long run.
+func (s *System) runCycles(ctx context.Context, n int64, deadline time.Time) error {
+	const chunkCycles = 1024
+	for done := int64(0); done < n; {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: run canceled at tick %d: %w", s.engine.Now(), err)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("%w (tick %d)", ErrTimeout, s.engine.Now())
+		}
+		step := n - done
+		if step > chunkCycles {
+			step = chunkCycles
+		}
+		if err := s.engine.Run(step * s.ticksPerCycle); err != nil {
+			return err
+		}
+		done += step
+	}
+	return nil
+}
+
 // Run executes warmup plus the configured batches and returns the
-// aggregated result. A tripped watchdog sets Stalled instead of
-// returning an error so sweeps can plot saturation points.
+// aggregated result. A tripped watchdog sets Stalled (and Stall, when
+// the model can diagnose itself) instead of returning an error so
+// sweeps can plot saturation points; set RunConfig.FailOnStall to get
+// the error instead.
 func (s *System) Run(rc RunConfig) (Result, error) {
+	return s.RunCtx(context.Background(), rc)
+}
+
+// RunCtx is Run with cancellation: ctx aborts the run between cycle
+// chunks, RunConfig.Timeout bounds its wall-clock time, and a model
+// panic is recovered into a *PanicError instead of crashing the
+// caller.
+func (s *System) RunCtx(ctx context.Context, rc RunConfig) (res Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		pe := &PanicError{Value: r, Stack: debug.Stack()}
+		if rep, ok := s.net.(network.StallReporter); ok {
+			func() {
+				// The forensic walk runs over the very state that just
+				// panicked; a second panic must not mask the first.
+				defer func() { recover() }()
+				pe.Report = rep.BuildStallReport(s.engine.Now())
+			}()
+		}
+		res, err = Result{}, pe
+	}()
 	if err := rc.validate(); err != nil {
 		return Result{}, err
 	}
@@ -373,10 +485,18 @@ func (s *System) Run(rc RunConfig) (Result, error) {
 		wd = 20000
 	}
 	s.engine.WatchdogTicks = wd * s.ticksPerCycle
+	var deadline time.Time
+	if rc.Timeout > 0 {
+		deadline = time.Now().Add(rc.Timeout)
+	}
 
 	stalled := false
-	if err := s.StepCycles(rc.WarmupCycles); err != nil {
-		stalled = true
+	var stallErr error
+	if err := s.runCycles(ctx, rc.WarmupCycles, deadline); err != nil {
+		if !errors.Is(err, sim.ErrStalled) {
+			return Result{}, err
+		}
+		stalled, stallErr = true, err
 	}
 	s.col.Latency.CloseBatch() // discarded by the batch-means filter
 	s.net.ResetUtilization()
@@ -387,19 +507,27 @@ func (s *System) Run(rc RunConfig) (Result, error) {
 
 	if !stalled {
 		for b := 0; b < rc.Batches; b++ {
-			if err := s.StepCycles(rc.BatchCycles); err != nil {
-				stalled = true
+			if err := s.runCycles(ctx, rc.BatchCycles, deadline); err != nil {
+				if !errors.Is(err, sim.ErrStalled) {
+					return Result{}, err
+				}
+				stalled, stallErr = true, err
 				break
 			}
 			s.col.Latency.CloseBatch()
 		}
 	}
-	if err := s.net.CheckInvariants(); err != nil {
-		return Result{}, err
+	if ic, ok := s.net.(network.InvariantChecker); ok {
+		if err := ic.CheckInvariants(); err != nil {
+			return Result{}, err
+		}
+	}
+	if stalled && rc.FailOnStall {
+		return Result{}, stallErr
 	}
 
 	totalCycles := float64(rc.BatchCycles) * float64(rc.Batches)
-	res := Result{
+	res = Result{
 		Latency:      s.col.Latency.Mean(),
 		LatencyCI:    s.col.Latency.HalfWidth(),
 		Observations: s.col.Latency.Observations(),
@@ -407,6 +535,12 @@ func (s *System) Run(rc RunConfig) (Result, error) {
 		Completed:    s.col.Completed,
 		Local:        s.col.Local,
 		Stalled:      stalled,
+	}
+	if stalled {
+		var se *sim.StallError
+		if errors.As(stallErr, &se) {
+			res.Stall = se.Report
+		}
 	}
 	if totalCycles > 0 {
 		res.Throughput = float64(res.Observations) / totalCycles

@@ -1,0 +1,114 @@
+package mesh
+
+// Fault-injection behaviour tests at the model level: a dead router
+// really stops forwarding (and recovers on schedule), a slowdown
+// really delays delivery, and the stall report names the faulted
+// router when the watchdog would trip.
+
+import (
+	"strings"
+	"testing"
+
+	"ringmesh/internal/fault"
+	"ringmesh/internal/packet"
+	"ringmesh/internal/topo"
+)
+
+func mustPlan(t *testing.T, s string) *fault.Plan {
+	t.Helper()
+	p, err := fault.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// A dead router (LinkStutter kills all four neighbour outputs) stops
+// forwarding for exactly its scheduled window, then the parked packet
+// crosses normally.
+func TestLinkStutterBlocksForwardingThenRecovers(t *testing.T) {
+	h := newHarness(t, Config{Spec: topo.MustMeshSpec(2), LineBytes: 32, BufferFlits: 4})
+	if err := h.net.ApplyFaultPlan(mustPlan(t, "stutter@0+40:node=0")); err != nil {
+		t.Fatal(err)
+	}
+	p := mkPkt(1, packet.ReadRequest, 0, 1, 32)
+	h.pms[0].pendReq = append(h.pms[0].pendReq, p)
+	h.run(t, 39)
+	if len(h.pms[1].delivered) != 0 {
+		t.Fatalf("packet crossed a dead router (delivered at %v)", h.pms[1].deliverAt)
+	}
+	h.run(t, 21)
+	if len(h.pms[1].delivered) != 1 {
+		t.Fatal("packet not delivered after the fault expired")
+	}
+	if at := h.pms[1].deliverAt[0]; at <= 40 {
+		t.Fatalf("delivered at %d, inside the fault window", at)
+	}
+}
+
+// NodeSlowdown with factor k must stretch a zero-load delivery: the
+// router acts only every k-th cycle, so the unfaulted tick-6 delivery
+// (see TestNeighborDelivery) happens strictly later.
+func TestNodeSlowdownDelaysDelivery(t *testing.T) {
+	h := newHarness(t, Config{Spec: topo.MustMeshSpec(2), LineBytes: 32, BufferFlits: 4})
+	if err := h.net.ApplyFaultPlan(mustPlan(t, "slowdown@0+1000:node=0,factor=4")); err != nil {
+		t.Fatal(err)
+	}
+	p := mkPkt(1, packet.ReadRequest, 0, 1, 32)
+	h.pms[0].pendReq = append(h.pms[0].pendReq, p)
+	h.run(t, 100)
+	if len(h.pms[1].delivered) != 1 {
+		t.Fatal("slowed packet never delivered")
+	}
+	if at := h.pms[1].deliverAt[0]; at <= 6 {
+		t.Fatalf("delivered at %d despite 4x slowdown (unfaulted: 6)", at)
+	}
+}
+
+// A permanently dead router with traffic parked at it must show up in
+// the stall report: an active fault, a self-edge wait cycle on the
+// router, and the parked packet among the oldest.
+func TestStallReportNamesFaultedRouter(t *testing.T) {
+	h := newHarness(t, Config{Spec: topo.MustMeshSpec(2), LineBytes: 32, BufferFlits: 4})
+	if err := h.net.ApplyFaultPlan(mustPlan(t, "stutter@0+100000:node=0")); err != nil {
+		t.Fatal(err)
+	}
+	p := mkPkt(1, packet.ReadRequest, 0, 1, 32)
+	h.pms[0].pendReq = append(h.pms[0].pendReq, p)
+	h.run(t, 50)
+	rep := h.net.BuildStallReport(50)
+	if len(rep.ActiveFaults) == 0 {
+		t.Fatal("report lists no active fault")
+	}
+	selfEdge := false
+	for _, e := range rep.WaitFor {
+		if e.From == "router0" && e.To == "router0" && strings.Contains(e.Why, "faulted") {
+			selfEdge = true
+		}
+	}
+	if !selfEdge {
+		t.Fatalf("no self-edge on the dead router: %+v", rep.WaitFor)
+	}
+	cycleNamed := false
+	for _, cyc := range rep.Cycles {
+		if len(cyc) == 1 && cyc[0] == "router0" {
+			cycleNamed = true
+		}
+	}
+	if !cycleNamed {
+		t.Fatalf("cycles %v do not name router0", rep.Cycles)
+	}
+	if len(rep.Oldest) == 0 {
+		t.Fatal("parked packet missing from the oldest list")
+	}
+}
+
+func TestApplyFaultPlanValidates(t *testing.T) {
+	h := newHarness(t, Config{Spec: topo.MustMeshSpec(2), LineBytes: 32, BufferFlits: 4})
+	if err := h.net.ApplyFaultPlan(mustPlan(t, "stutter@0+10:node=99")); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := h.net.ApplyFaultPlan(mustPlan(t, "degrade@0+10:node=0,port=7,factor=2")); err == nil {
+		t.Fatal("out-of-range port accepted")
+	}
+}

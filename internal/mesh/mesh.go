@@ -15,6 +15,7 @@ package mesh
 import (
 	"fmt"
 
+	"ringmesh/internal/fault"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/node"
 	"ringmesh/internal/packet"
@@ -40,8 +41,10 @@ func (c Config) Validate() error {
 	if c.Spec.K < 1 {
 		return fmt.Errorf("mesh: side %d < 1", c.Spec.K)
 	}
-	if c.LineBytes <= 0 {
-		return fmt.Errorf("mesh: LineBytes = %d", c.LineBytes)
+	switch c.LineBytes {
+	case 16, 32, 64, 128:
+	default:
+		return fmt.Errorf("mesh: unsupported cache line size %dB (the paper's sizings cover 16, 32, 64 and 128)", c.LineBytes)
 	}
 	if c.BufferFlits < 0 {
 		return fmt.Errorf("mesh: BufferFlits = %d", c.BufferFlits)
@@ -90,6 +93,11 @@ type router struct {
 
 	pm PMPort
 
+	// flt is the installed per-port fault state; nil (the common
+	// case) costs one pointer check per router per cycle. See
+	// fault.go.
+	flt *rtrFault
+
 	// linkUtil counts flits sent on each of this router's outgoing
 	// neighbour links, per direction (capacity accrues only for links
 	// that exist; the Local slot stays unused). Keeping the split by
@@ -104,6 +112,9 @@ type Network struct {
 	routers []*router
 	engine  *sim.Engine
 	tracer  *trace.Recorder
+
+	// faults is the installed fault schedule; nil for fault-free runs.
+	faults *fault.Driver
 
 	// turns, when non-nil (metrics enabled), counts e-cube dimension
 	// turns: head flits leaving an east/west input through a
@@ -140,47 +151,61 @@ func New(cfg Config, pms []PMPort, engine *sim.Engine) (*Network, error) {
 // Compute implements sim.Component: stage every router's crossbar
 // transfers and PM injections from start-of-cycle state.
 func (n *Network) Compute(now int64) {
+	if n.faults != nil {
+		n.faults.Step(now)
+	}
 	for _, r := range n.routers {
-		n.computeRouter(r)
+		n.computeRouter(r, now)
 	}
 }
 
-func (n *Network) computeRouter(r *router) {
+// pickMove returns the flit output o would carry this cycle and the
+// input it comes from, judged from start-of-cycle state. It is pure
+// (Peek-only) so the stall forensics can re-ask the same question the
+// switching logic asks.
+func (n *Network) pickMove(r *router, o topo.Direction) (in topo.Direction, f packet.Flit, ok bool) {
+	if r.outLock[o] != nil {
+		// Continue the locked worm; bubbles keep the lock.
+		i := r.outLockIn[o]
+		head, has := r.inputs[i].Peek()
+		if !has {
+			return -1, packet.Flit{}, false
+		}
+		if head.Pkt != r.outLock[o] {
+			panic(fmt.Sprintf("mesh: router %d would interleave %s into %s",
+				r.id, head.Pkt, r.outLock[o]))
+		}
+		return i, head, true
+	}
+	// Round-robin arbitration among inputs whose head flit is a packet
+	// head routed to this output.
+	for k := 0; k < int(topo.NumPorts); k++ {
+		i := topo.Direction((r.rr[o] + k) % int(topo.NumPorts))
+		head, has := r.inputs[i].Peek()
+		if !has || !head.Head() {
+			continue
+		}
+		if n.cfg.Spec.Route(r.id, head.Pkt.Dst) != o {
+			continue
+		}
+		return i, head, true
+	}
+	return -1, packet.Flit{}, false
+}
+
+func (n *Network) computeRouter(r *router, now int64) {
+	if r.flt != nil && now >= r.flt.maxUntil {
+		r.flt = nil // every fault window has passed
+	}
 	spec := n.cfg.Spec
 	for o := topo.Direction(0); o < topo.NumPorts; o++ {
 		r.staged[o] = move{}
-		var in topo.Direction = -1
-		var f packet.Flit
-		if r.outLock[o] != nil {
-			// Continue the locked worm; bubbles keep the lock.
-			i := r.outLockIn[o]
-			head, ok := r.inputs[i].Peek()
-			if !ok {
-				continue
-			}
-			if head.Pkt != r.outLock[o] {
-				panic(fmt.Sprintf("mesh: router %d would interleave %s into %s",
-					r.id, head.Pkt, r.outLock[o]))
-			}
-			in, f = i, head
-		} else {
-			// Round-robin arbitration among inputs whose head flit is
-			// a packet head routed to this output.
-			for k := 0; k < int(topo.NumPorts); k++ {
-				i := topo.Direction((r.rr[o] + k) % int(topo.NumPorts))
-				head, ok := r.inputs[i].Peek()
-				if !ok || !head.Head() {
-					continue
-				}
-				if spec.Route(r.id, head.Pkt.Dst) != o {
-					continue
-				}
-				in, f = i, head
-				break
-			}
-			if in < 0 {
-				continue
-			}
+		if r.flt != nil && r.flt.blocked(o, now) {
+			continue // this output port is faulted this cycle
+		}
+		in, f, ok := n.pickMove(r, o)
+		if !ok {
+			continue
 		}
 		// Downstream acceptance.
 		if o == topo.Local {
@@ -362,6 +387,9 @@ func (n *Network) DescribeMetrics(reg *metrics.Registry) {
 			})
 	}
 	n.turns = reg.Counter("mesh_ecube_turns", metrics.Labels{})
+	if n.faults != nil {
+		n.faults.Counter = reg.Counter("fault_events_total", metrics.Labels{})
+	}
 }
 
 // BufferedFlits counts flits resident in all router input FIFOs plus

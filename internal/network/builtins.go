@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"ringmesh/internal/fault"
 	"ringmesh/internal/mesh"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/packet"
@@ -23,12 +24,17 @@ func init() {
 
 // hierNet is the shared surface of the wormhole and slotted ring
 // models: everything Model requires except the stats snapshot, plus
-// the per-level utilization the snapshot is built from.
+// the per-level utilization the snapshot is built from and the
+// optional capabilities (invariant checking, fault injection, stall
+// forensics) both built-ins implement. Embedding the interface makes
+// the wrapper advertise the capabilities too.
 type hierNet interface {
 	sim.Component
 	BufferedFlits() int
 	ResetUtilization()
 	CheckInvariants() error
+	ApplyFaultPlan(*fault.Plan) error
+	BuildStallReport(now int64) *sim.StallReport
 	SetTracer(*trace.Recorder)
 	DescribeMetrics(*metrics.Registry)
 	UtilizationByLevel() []float64
@@ -47,6 +53,8 @@ type flatNet interface {
 	BufferedFlits() int
 	ResetUtilization()
 	CheckInvariants() error
+	ApplyFaultPlan(*fault.Plan) error
+	BuildStallReport(now int64) *sim.StallReport
 	SetTracer(*trace.Recorder)
 	DescribeMetrics(*metrics.Registry)
 	Utilization() float64
@@ -72,6 +80,7 @@ func ringFactory(cfg Config) (*Plan, error) {
 		DoubleSpeedGlobal: cfg.DoubleSpeedGlobal,
 		IRIQueueFlits:     cfg.IRIQueueFlits,
 		Switching:         sw,
+		UnsafeNoVC:        cfg.UnsafeNoVC,
 	}
 	if err := rc.Validate(); err != nil {
 		return nil, err

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 
+	"ringmesh/internal/fault"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/node"
 	"ringmesh/internal/packet"
@@ -63,6 +64,12 @@ type Config struct {
 	// flits (ring family; 0 means one cache-line packet, the paper's
 	// value).
 	IRIQueueFlits int
+	// UnsafeNoVC disables the ring family's virtual channels and
+	// bubble flow control (wormhole switching only), reproducing the
+	// paper-era hierarchy deadlock the VC design removes. It exists to
+	// exercise stall forensics against a genuine wait-for cycle and
+	// for ablation studies; never set it in measurement runs.
+	UnsafeNoVC bool
 }
 
 // Stats is a topology-agnostic snapshot of a model's utilization
@@ -95,9 +102,6 @@ type Model interface {
 	Stats() Stats
 	// ResetUtilization clears the counters (called at warmup end).
 	ResetUtilization()
-	// CheckInvariants returns an error if any internal invariant
-	// (buffer bounds, deadlock-freedom preconditions) is violated.
-	CheckInvariants() error
 	// SetTracer attaches an optional packet-lifecycle recorder
 	// (nil-safe).
 	SetTracer(*trace.Recorder)
@@ -108,6 +112,44 @@ type Model interface {
 	// observation-only: attaching a registry must not change any
 	// simulation result.
 	DescribeMetrics(reg *metrics.Registry)
+}
+
+// The optional model capabilities. A Model advertises each by
+// implementing the interface; callers discover them with type
+// assertions, so a third-party model participates in exactly the
+// subsystems it supports and the Model contract stays minimal.
+
+// InvariantChecker is the optional self-check capability: a model
+// that can audit its internal invariants (buffer bounds, flow-control
+// bookkeeping, deadlock-freedom preconditions) implements it, and the
+// runner and test harnesses call it after every run (or every tick in
+// property tests). All built-in models implement it.
+type InvariantChecker interface {
+	// CheckInvariants returns an error naming the first violated
+	// internal invariant, or nil.
+	CheckInvariants() error
+}
+
+// FaultInjector is the optional fault-injection capability: a model
+// that can degrade itself on schedule accepts a fault.Plan before the
+// run starts. Implementations must be deterministic — the same
+// (plan, topology) pair always yields the same fault schedule — and
+// an empty plan must leave results bit-identical to no plan at all.
+type FaultInjector interface {
+	// ApplyFaultPlan materializes and installs the plan's schedule.
+	// Called once, after construction and before the first tick.
+	ApplyFaultPlan(p *fault.Plan) error
+}
+
+// StallReporter is the optional forensics capability: a model that
+// can explain a stall builds a structured snapshot of its blocked
+// state when the engine watchdog trips (wired to sim.Engine.Diagnose
+// by the assembly layer). Builders run on a frozen system, may be
+// O(network size), and must not mutate model state.
+type StallReporter interface {
+	// BuildStallReport snapshots buffer occupancy, the wait-for graph
+	// among blocked senders, and the oldest in-flight packets.
+	BuildStallReport(now int64) *sim.StallReport
 }
 
 // Plan is a resolved network blueprint: everything the assembly layer

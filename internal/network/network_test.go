@@ -3,6 +3,9 @@ package network
 import (
 	"strings"
 	"testing"
+
+	"ringmesh/internal/packet"
+	"ringmesh/internal/sim"
 )
 
 func mustPanic(t *testing.T, want string, fn func()) {
@@ -138,5 +141,62 @@ func TestFactoriesIgnoreForeignFields(t *testing.T) {
 	}
 	if _, err := New("mesh", Config{Nodes: 64, LineBytes: 32, DoubleSpeedGlobal: true, SlottedSwitching: true, IRIQueueFlits: 8}); err != nil {
 		t.Errorf("mesh rejected ring-only fields: %v", err)
+	}
+}
+
+// stubPort is a do-nothing PM port for building models in tests.
+type stubPort struct{}
+
+func (stubPort) PendingResponse() (*packet.Packet, bool) { return nil, false }
+func (stubPort) PopPendingResponse() *packet.Packet      { panic("empty") }
+func (stubPort) PendingRequest() (*packet.Packet, bool)  { return nil, false }
+func (stubPort) PopPendingRequest() *packet.Packet       { panic("empty") }
+func (stubPort) Deliver(*packet.Packet, int64)           {}
+
+// TestBuiltinsAdvertiseCapabilities builds every registered built-in
+// and asserts it implements the full optional-capability set —
+// invariant checking, fault injection, stall forensics — and that a
+// fresh network passes its own invariant audit. Third-party models
+// may opt out of any of these; the built-ins may not.
+func TestBuiltinsAdvertiseCapabilities(t *testing.T) {
+	cfgs := map[string][]Config{
+		"ring": {
+			{Topology: "2:3:4", LineBytes: 32},
+			{Topology: "2:3:4", LineBytes: 32, SlottedSwitching: true},
+		},
+		"mesh": {
+			{Topology: "4x4", LineBytes: 32, BufferFlits: 4},
+		},
+	}
+	for name, list := range cfgs {
+		for _, cfg := range list {
+			plan, err := New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engine := &sim.Engine{}
+			ports := make([]Port, plan.PMs)
+			for i := range ports {
+				ports[i] = stubPort{}
+			}
+			model, err := plan.Build(ports, engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			desc := name + " " + plan.Topology
+			ic, ok := model.(InvariantChecker)
+			if !ok {
+				t.Fatalf("%s does not implement InvariantChecker", desc)
+			}
+			if err := ic.CheckInvariants(); err != nil {
+				t.Errorf("%s fresh network fails its own audit: %v", desc, err)
+			}
+			if _, ok := model.(FaultInjector); !ok {
+				t.Errorf("%s does not implement FaultInjector", desc)
+			}
+			if _, ok := model.(StallReporter); !ok {
+				t.Errorf("%s does not implement StallReporter", desc)
+			}
+		}
 	}
 }

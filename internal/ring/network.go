@@ -3,6 +3,7 @@ package ring
 import (
 	"fmt"
 
+	"ringmesh/internal/fault"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/node"
 	"ringmesh/internal/packet"
@@ -33,6 +34,14 @@ type Config struct {
 	// paper's model, default) or Slotted (the Hector/NUMAchine
 	// technique; see slotted.go).
 	Switching Switching
+	// UnsafeNoVC disables the virtual channels and the bubble rule
+	// (wormhole switching only): every packet rides vcDescent and
+	// injection is limited only by buffer space. This deliberately
+	// restores the paper-era hierarchy deadlock documented in the
+	// package comment (e.g. 3:3:8 at T=2 under full load) so the stall
+	// forensics can be exercised against a genuine wait-for cycle.
+	// Never set it in measurement runs.
+	UnsafeNoVC bool
 }
 
 // Validate checks the configuration.
@@ -40,19 +49,32 @@ func (c Config) Validate() error {
 	if len(c.Spec.Levels) == 0 {
 		return fmt.Errorf("ring: empty topology spec")
 	}
+	last := c.Spec.NumLevels() - 1
 	for i, b := range c.Spec.Levels {
 		if b < 1 {
 			return fmt.Errorf("ring: level %d branching %d < 1", i, b)
 		}
+		if i < last && b < 2 {
+			return fmt.Errorf("ring: internal level %d branching %d < 2 (a ring with one child is a wire; fold the level away)", i, b)
+		}
 	}
-	if c.Spec.NumLevels() > 1 && c.Spec.Levels[0] < 2 {
-		return fmt.Errorf("ring: global ring of a hierarchy needs >= 2 children")
+	switch c.LineBytes {
+	case 16, 32, 64, 128:
+	default:
+		return fmt.Errorf("ring: unsupported cache line size %dB (the paper's sizings cover 16, 32, 64 and 128)", c.LineBytes)
 	}
-	if c.LineBytes <= 0 {
-		return fmt.Errorf("ring: LineBytes = %d", c.LineBytes)
+	if c.Switching != Wormhole && c.Switching != Slotted {
+		return fmt.Errorf("ring: unknown switching technique %d", c.Switching)
 	}
 	if c.IRIQueueFlits < 0 {
 		return fmt.Errorf("ring: IRIQueueFlits = %d", c.IRIQueueFlits)
+	}
+	if cl := packet.RingSizing.CacheLineFlits(c.LineBytes); c.IRIQueueFlits > 0 && c.IRIQueueFlits < cl {
+		return fmt.Errorf("ring: IRIQueueFlits = %d holds less than one %dB cache-line packet (%d flits); a worm crossing the IRI would wedge forever",
+			c.IRIQueueFlits, c.LineBytes, cl)
+	}
+	if c.UnsafeNoVC && c.Switching == Slotted {
+		return fmt.Errorf("ring: UnsafeNoVC applies to wormhole switching only (slotted rings have no virtual channels to disable)")
 	}
 	return nil
 }
@@ -124,6 +146,10 @@ type Network struct {
 	iris     []*iri
 	rings    []*ringInst
 	engine   *sim.Engine
+
+	// faults is the installed fault schedule; nil for fault-free runs
+	// (the common case), keeping the hot path at one nil check.
+	faults *fault.Driver
 
 	tracer *trace.Recorder
 }
@@ -238,9 +264,10 @@ func (n *Network) buildRing(level, base int, pms []PMPort, parentLower *station)
 	// every station to the ring instance (virtual-channel classing
 	// and the bubble rule need the ring's subtree range).
 	inst := &ringInst{
-		stations: slots,
-		lo:       base,
-		hi:       base + spec.SubtreeSize(level),
+		stations:   slots,
+		lo:         base,
+		hi:         base + spec.SubtreeSize(level),
+		unsafeNoVC: n.cfg.UnsafeNoVC,
 	}
 	for v := 0; v < numVCs; v++ {
 		inst.resident[v] = map[*packet.Packet]bool{}
@@ -254,6 +281,9 @@ func (n *Network) buildRing(level, base int, pms []PMPort, parentLower *station)
 
 // Compute implements sim.Component.
 func (n *Network) Compute(now int64) {
+	if n.faults != nil {
+		n.faults.Step(now)
+	}
 	for _, r := range n.rings {
 		r.stagedInj = [numVCs]int{}
 	}
@@ -335,6 +365,9 @@ func (n *Network) DescribeMetrics(reg *metrics.Registry) {
 		nc.st.stall = reg.Counter("nic_inject_stall_cycles",
 			metrics.Labels{Node: fmt.Sprintf("nic%d", id)})
 	}
+	if n.faults != nil {
+		n.faults.Counter = reg.Counter("fault_events_total", metrics.Labels{})
+	}
 }
 
 // UtilizationByLevel returns link utilization aggregated per ring
@@ -393,7 +426,10 @@ func (n *Network) CheckInvariants() error {
 	}
 	for i, r := range n.rings {
 		for v := 0; v < numVCs; v++ {
-			if res := r.residents(v); res > len(r.stations)-1 {
+			// With UnsafeNoVC the bubble rule is deliberately off, so
+			// the residency bound does not hold; the residency
+			// *tracking* below still must.
+			if res := r.residents(v); !r.unsafeNoVC && res > len(r.stations)-1 {
 				return fmt.Errorf("ring: ring %d vc%d has %d residents in %d buffers (bubble violated)",
 					i, v, res, len(r.stations))
 			}

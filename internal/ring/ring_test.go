@@ -93,8 +93,14 @@ func TestConfigValidate(t *testing.T) {
 	bad := []Config{
 		{Spec: topo.RingSpec{}, LineBytes: 32},
 		{Spec: topo.MustRingSpec(4), LineBytes: 0},
+		{Spec: topo.MustRingSpec(4), LineBytes: 48}, // not a paper sizing
 		{Spec: topo.MustRingSpec(1, 4), LineBytes: 32}, // 1-child global
 		{Spec: topo.MustRingSpec(4), LineBytes: 32, IRIQueueFlits: -1},
+		// Queue smaller than one cache-line worm: would wedge forever.
+		{Spec: topo.MustRingSpec(2, 4), LineBytes: 32, IRIQueueFlits: 1},
+		{Spec: topo.MustRingSpec(4), LineBytes: 32, Switching: Switching(9)},
+		// Slotted rings have no VCs to disable.
+		{Spec: topo.MustRingSpec(4), LineBytes: 32, Switching: Slotted, UnsafeNoVC: true},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {

@@ -40,6 +40,7 @@ package ring
 import (
 	"fmt"
 
+	"ringmesh/internal/fault"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/packet"
 	"ringmesh/internal/sim"
@@ -144,6 +145,11 @@ type sstation struct {
 	// (responses before requests).
 	inject []*spktQueue
 
+	// flt is the installed fault on this station's ring attachment;
+	// nil (the common case) costs one pointer check per slot step. See
+	// fault.go.
+	flt *stFault
+
 	util *stats.Utilization
 
 	// stall, when non-nil (metrics enabled, NIC stations only), counts
@@ -224,6 +230,9 @@ type SlottedNetwork struct {
 	iris     []*siri
 	engine   *sim.Engine
 	tracer   *trace.Recorder
+
+	// faults is the installed fault schedule; nil for fault-free runs.
+	faults *fault.Driver
 
 	// moved accumulates the commit phase's progress events so they can
 	// be reported to the engine in one batched ProgressN call.
@@ -358,6 +367,9 @@ func (n *SlottedNetwork) Compute(now int64) {}
 // n.moved by the slot/injection helpers and reported to the engine
 // once per commit (batched).
 func (n *SlottedNetwork) Commit(now int64) {
+	if n.faults != nil {
+		n.faults.Step(now)
+	}
 	n.moved = 0
 	for _, r := range n.rings {
 		if now%r.slotPeriod != 0 {
@@ -382,6 +394,15 @@ func (n *SlottedNetwork) stepRing(r *sring, now int64) {
 	for i, st := range r.stations {
 		st.util.Tick(1)
 		slot := r.slotAt(i)
+		if st.flt != nil && st.fltBlockedSlot(now, now/r.slotPeriod) {
+			// The station's ring attachment is faulted: it neither
+			// extracts nor injects; an occupied slot rides past (the
+			// slotted ring's natural NACK behaviour).
+			if slot.pkt != nil {
+				st.util.Busy(1)
+			}
+			continue
+		}
 		busy := slot.pkt != nil
 		injected := false
 		if slot.pkt != nil {
@@ -496,6 +517,9 @@ func (n *SlottedNetwork) DescribeMetrics(reg *metrics.Registry) {
 	for id, nc := range n.nics {
 		nc.st.stall = reg.Counter("nic_inject_stall_cycles",
 			metrics.Labels{Node: fmt.Sprintf("nic%d", id)})
+	}
+	if n.faults != nil {
+		n.faults.Counter = reg.Counter("fault_events_total", metrics.Labels{})
 	}
 }
 

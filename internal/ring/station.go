@@ -84,6 +84,10 @@ type ringInst struct {
 	// lo, hi is the PM range of this ring's subtree; it classifies
 	// packets into descent ([lo,hi)) or ascent channels.
 	lo, hi int
+	// unsafeNoVC disables both deadlock-avoidance mechanisms (see
+	// Config.UnsafeNoVC): every packet classes as descent and the
+	// bubble rule admits unconditionally.
+	unsafeNoVC bool
 	// stagedInj counts injections granted per channel during the
 	// current compute phase, so simultaneous injections cannot
 	// overshoot the bubble bound.
@@ -99,6 +103,9 @@ type ringInst struct {
 
 // class returns the virtual channel a packet to dst uses on this ring.
 func (r *ringInst) class(dst int) int {
+	if r.unsafeNoVC {
+		return vcDescent
+	}
 	if dst >= r.lo && dst < r.hi {
 		return vcDescent
 	}
@@ -112,6 +119,9 @@ func (r *ringInst) residents(v int) int { return len(r.resident[v]) }
 // mayAdmitNewResident reports whether one more packet may start using
 // channel v's transit buffers (bubble rule: keep one buffer free).
 func (r *ringInst) mayAdmitNewResident(v int) bool {
+	if r.unsafeNoVC {
+		return true
+	}
 	return r.residents(v)+r.stagedInj[v] <= len(r.stations)-2
 }
 
@@ -177,6 +187,11 @@ type station struct {
 	// lastVC is the round-robin pointer for link arbitration between
 	// channels.
 	lastVC int
+
+	// flt is the installed fault on this station's output link; nil
+	// (the common case) costs one pointer check per compute. See
+	// fault.go.
+	flt *stFault
 
 	// Per-cycle staging: the single flit crossing this station's
 	// output link this cycle.
@@ -267,6 +282,9 @@ func (s *station) candidate(v int) (packet.Flit, *packet.FIFO, bool) {
 // between the two virtual channels.
 func (s *station) compute(now int64) {
 	s.staged = false
+	if s.flt != nil && s.fltBlocked(now) {
+		return // output link faulted: nothing crosses this cycle
+	}
 	for k := 1; k <= numVCs; k++ {
 		v := (s.lastVC + k) % numVCs
 		f, src, ok := s.candidate(v)

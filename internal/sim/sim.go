@@ -70,6 +70,14 @@ type Engine struct {
 	// activity traces) attach here instead of inside the network
 	// models.
 	OnCycle func(now int64, moved uint64)
+
+	// Diagnose, when non-nil, is invoked once when the watchdog trips
+	// to collect a structured snapshot of the stalled system (see
+	// StallReport); Run then returns a *StallError carrying it instead
+	// of a bare wrapped ErrStalled. A panic inside Diagnose is
+	// swallowed and the bare error returned — forensics must never
+	// turn a detectable stall into a crash.
+	Diagnose func() *StallReport
 }
 
 // ErrStalled is returned by Run when the watchdog detects that no
@@ -160,6 +168,10 @@ func (e *Engine) Run(ticks int64) error {
 		e.Step()
 		if e.WatchdogTicks > 0 && e.now-e.lastMoveTick > e.WatchdogTicks {
 			if e.InFlight == nil || e.InFlight() {
+				if rep := e.diagnose(); rep != nil {
+					rep.Tick = e.now
+					return &StallError{Tick: e.now, Report: rep}
+				}
 				return fmt.Errorf("%w at tick %d", ErrStalled, e.now)
 			}
 			// Idle (no packets anywhere) is fine; reset the clock so
@@ -168,4 +180,19 @@ func (e *Engine) Run(ticks int64) error {
 		}
 	}
 	return nil
+}
+
+// diagnose runs the Diagnose hook with panic protection: a model whose
+// forensic walker trips over the very inconsistency that caused the
+// stall must still surface the stall, just without the report.
+func (e *Engine) diagnose() (rep *StallReport) {
+	if e.Diagnose == nil {
+		return nil
+	}
+	defer func() {
+		if recover() != nil {
+			rep = nil
+		}
+	}()
+	return e.Diagnose()
 }

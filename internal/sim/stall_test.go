@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDetectCyclesFindsLoop(t *testing.T) {
+	edges := []WaitEdge{
+		{From: "a", To: "b", Why: "full"},
+		{From: "b", To: "c", Why: "full"},
+		{From: "c", To: "a", Why: "full"},
+		{From: "x", To: "a", Why: "full"}, // feeder, not part of a cycle
+	}
+	cycles := DetectCycles(edges)
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %v, want exactly one", cycles)
+	}
+	if !reflect.DeepEqual(cycles[0], []string{"a", "b", "c"}) {
+		t.Fatalf("cycle = %v, want [a b c]", cycles[0])
+	}
+}
+
+func TestDetectCyclesSelfLoop(t *testing.T) {
+	cycles := DetectCycles([]WaitEdge{{From: "n", To: "n", Why: "link faulted"}})
+	if len(cycles) != 1 || len(cycles[0]) != 1 || cycles[0][0] != "n" {
+		t.Fatalf("self-loop cycles = %v", cycles)
+	}
+}
+
+func TestDetectCyclesAcyclic(t *testing.T) {
+	edges := []WaitEdge{
+		{From: "a", To: "b"}, {From: "b", To: "c"}, {From: "a", To: "c"},
+	}
+	if cycles := DetectCycles(edges); len(cycles) != 0 {
+		t.Fatalf("acyclic graph reported cycles %v", cycles)
+	}
+	if cycles := DetectCycles(nil); len(cycles) != 0 {
+		t.Fatalf("empty graph reported cycles %v", cycles)
+	}
+}
+
+func TestDetectCyclesDedupsRotations(t *testing.T) {
+	// The same physical loop reachable from two feeders must be
+	// reported once, regardless of where the DFS enters it.
+	edges := []WaitEdge{
+		{From: "f1", To: "b"},
+		{From: "f2", To: "c"},
+		{From: "b", To: "c"},
+		{From: "c", To: "b"},
+	}
+	cycles := DetectCycles(edges)
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %v, want the b<->c loop once", cycles)
+	}
+}
+
+func TestStallErrorUnwrapsToErrStalled(t *testing.T) {
+	err := error(&StallError{Tick: 42, Report: &StallReport{BufferedFlits: 7}})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatal("StallError does not unwrap to ErrStalled")
+	}
+	var se *StallError
+	if !errors.As(err, &se) || se.Report.BufferedFlits != 7 {
+		t.Fatal("errors.As lost the report")
+	}
+	if !strings.Contains(err.Error(), "tick 42") {
+		t.Fatalf("error %q does not name the tick", err)
+	}
+}
+
+// stuckComponent makes progress for a while, then freezes with load
+// still reported in flight.
+type stuckComponent struct {
+	engine *Engine
+	until  int64
+}
+
+func (c *stuckComponent) Compute(now int64) {}
+func (c *stuckComponent) Commit(now int64) {
+	if now < c.until {
+		c.engine.Progress()
+	}
+}
+
+func TestWatchdogReturnsStallErrorWithDiagnosis(t *testing.T) {
+	e := &Engine{WatchdogTicks: 10}
+	e.Register(&stuckComponent{engine: e, until: 5}, 1)
+	called := 0
+	e.Diagnose = func() *StallReport {
+		called++
+		return &StallReport{
+			BufferedFlits: 3,
+			WaitFor:       []WaitEdge{{From: "a", To: "a", Why: "test"}},
+			Cycles:        [][]string{{"a"}},
+		}
+	}
+	err := e.Run(100)
+	if err == nil {
+		t.Fatal("expected a stall")
+	}
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("stall error %v does not match ErrStalled", err)
+	}
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("stall error %T is not a *StallError", err)
+	}
+	if se.Report == nil || se.Report.Tick != se.Tick || se.Report.Tick == 0 {
+		t.Fatalf("report tick not stamped: %+v", se)
+	}
+	if called != 1 {
+		t.Fatalf("Diagnose called %d times", called)
+	}
+	if !strings.Contains(se.Report.Summary(), "cycle: a") {
+		t.Fatalf("summary %q misses the cycle", se.Report.Summary())
+	}
+}
+
+func TestDiagnosePanicFallsBackToBareError(t *testing.T) {
+	e := &Engine{WatchdogTicks: 10}
+	e.Register(&stuckComponent{engine: e, until: 5}, 1)
+	e.Diagnose = func() *StallReport { panic("forensics over inconsistent state") }
+	err := e.Run(100)
+	if err == nil || !errors.Is(err, ErrStalled) {
+		t.Fatalf("want bare ErrStalled after diagnose panic, got %v", err)
+	}
+	var se *StallError
+	if errors.As(err, &se) {
+		t.Fatalf("panicking diagnose still produced a StallError: %v", err)
+	}
+}
+
+func TestSortOldest(t *testing.T) {
+	pkts := []StuckPacket{
+		{ID: 1, AgeTicks: 10},
+		{ID: 2, AgeTicks: 300},
+		{ID: 3, AgeTicks: 50},
+	}
+	got := SortOldest(pkts, 2)
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 3 {
+		t.Fatalf("SortOldest = %+v", got)
+	}
+}
+
+func TestSummaryNilSafe(t *testing.T) {
+	var r *StallReport
+	if r.Summary() == "" {
+		t.Fatal("nil report summary empty")
+	}
+}

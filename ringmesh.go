@@ -36,12 +36,17 @@
 package ringmesh
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"ringmesh/internal/core"
+	"ringmesh/internal/fault"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
+	"ringmesh/internal/sim"
 	"ringmesh/internal/topo"
 	"ringmesh/internal/trace"
 	"ringmesh/internal/workload"
@@ -141,6 +146,21 @@ type Config struct {
 	// MetricsIntervalCycles is the sampling period in PM clock cycles
 	// (0 = default 100). Only meaningful with Metrics set.
 	MetricsIntervalCycles int64
+	// FaultPlan schedules deterministic hardware faults, in the fault
+	// DSL: semicolon-separated events of the form
+	// "kind@start+duration:node=N[,port=P][,factor=F]" with kinds
+	// link-stutter, node-slowdown and port-degrade, or
+	// "rand:events=E,seed=S,horizon=H" for a seeded random plan, or
+	// "none" to enable the subsystem with an empty schedule. Times are
+	// PM cycles; node indices are model-specific (ring: station build
+	// order, mesh: router ids). Empty string disables fault injection
+	// entirely; an empty plan ("none") is bit-identical to disabled.
+	FaultPlan string
+	// UnsafeNoVC disables the ring model's virtual channels and bubble
+	// flow control (wormhole only), restoring the paper-era hierarchy
+	// deadlock. For forensics demonstrations and ablations — never for
+	// measurement runs.
+	UnsafeNoVC bool
 }
 
 // RingConfig describes a hierarchical-ring system.
@@ -250,6 +270,19 @@ type RunOptions struct {
 	BatchCycles int64
 	// Batches is the number of retained batches.
 	Batches int
+	// WatchdogCycles overrides the stall-detection horizon in PM
+	// cycles (0 = default 20000): the run aborts after this many
+	// cycles without a single flit movement while packets are in
+	// flight.
+	WatchdogCycles int64
+	// Timeout bounds the run's wall-clock time; exceeding it returns
+	// an error wrapping ErrTimeout (0 = no limit).
+	Timeout time.Duration
+	// FailOnStall turns a watchdog trip into a returned error — which
+	// unwraps to ErrStalled and carries the diagnosis (see
+	// DiagnoseStall) — instead of the default Result.Stalled marker
+	// that lets sweeps plot saturation points.
+	FailOnStall bool
 }
 
 // DefaultRunOptions returns the schedule used for the paper
@@ -265,9 +298,12 @@ func QuickRunOptions() RunOptions {
 
 func (o RunOptions) internal() core.RunConfig {
 	return core.RunConfig{
-		WarmupCycles: o.WarmupCycles,
-		BatchCycles:  o.BatchCycles,
-		Batches:      o.Batches,
+		WarmupCycles:   o.WarmupCycles,
+		BatchCycles:    o.BatchCycles,
+		Batches:        o.Batches,
+		WatchdogCycles: o.WatchdogCycles,
+		Timeout:        o.Timeout,
+		FailOnStall:    o.FailOnStall,
 	}
 }
 
@@ -304,6 +340,59 @@ type Result struct {
 	Saturated bool
 	// Stalled marks runs aborted by the no-progress watchdog.
 	Stalled bool
+	// Stall carries the model's forensic snapshot when Stalled is set
+	// and the model can diagnose itself; nil otherwise.
+	Stall *StallDiagnosis
+}
+
+// StallDiagnosis is the structured snapshot a model builds when the
+// no-progress watchdog trips: what was buffered where, which senders
+// were waiting on which, and whether those waits close into cycles (a
+// true deadlock) or not (livelock or starvation).
+type StallDiagnosis struct {
+	// Tick is the engine tick the watchdog tripped at.
+	Tick int64
+	// BufferedFlits is the network's total buffered load at the stall.
+	BufferedFlits int
+	// Cycles lists the wait-for cycles found, each as the node names
+	// around the loop; a non-empty list names a deadlock's culprits.
+	Cycles [][]string
+	// ActiveFaults describes the injected faults active at the stall.
+	ActiveFaults []string
+	// Summary is a compact human-readable rendering of the full
+	// report (buffers, wait-for edges, oldest stuck packets).
+	Summary string
+}
+
+// ErrStalled matches (via errors.Is) any run error caused by the
+// no-progress watchdog: a routing deadlock or flow-control livelock.
+var ErrStalled = sim.ErrStalled
+
+// ErrTimeout matches (via errors.Is) any run error caused by
+// exceeding RunOptions.Timeout or SweepOptions.PointTimeout.
+var ErrTimeout = core.ErrTimeout
+
+// DiagnoseStall extracts the stall diagnosis from an error returned
+// by a run with FailOnStall set (nil when err carries none).
+func DiagnoseStall(err error) *StallDiagnosis {
+	var se *sim.StallError
+	if !errors.As(err, &se) {
+		return nil
+	}
+	return diagnosisFrom(se.Report)
+}
+
+func diagnosisFrom(rep *sim.StallReport) *StallDiagnosis {
+	if rep == nil {
+		return nil
+	}
+	return &StallDiagnosis{
+		Tick:          rep.Tick,
+		BufferedFlits: rep.BufferedFlits,
+		Cycles:        rep.Cycles,
+		ActiveFaults:  rep.ActiveFaults,
+		Summary:       rep.Summary(),
+	}
 }
 
 func fromCore(r core.Result) Result {
@@ -323,6 +412,7 @@ func fromCore(r core.Result) Result {
 		BatchesCorrelated: r.BatchesCorrelated,
 		Saturated:         r.Saturated,
 		Stalled:           r.Stalled,
+		Stall:             diagnosisFrom(r.Stall),
 	}
 }
 
@@ -395,6 +485,14 @@ func NewSystem(cfg Config) (*System, error) {
 			interval = 100
 		}
 	}
+	var plan *fault.Plan
+	if cfg.FaultPlan != "" {
+		var err error
+		plan, err = fault.Parse(cfg.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+	}
 	sys, err := core.NewSystem(core.SystemConfig{
 		Network: cfg.Network,
 		Net: network.Config{
@@ -404,6 +502,7 @@ func NewSystem(cfg Config) (*System, error) {
 			BufferFlits:       cfg.BufferFlits,
 			DoubleSpeedGlobal: cfg.DoubleSpeedGlobal,
 			SlottedSwitching:  cfg.SlottedSwitching,
+			UnsafeNoVC:        cfg.UnsafeNoVC,
 		},
 		Workload:        cfg.Workload.internal(),
 		MemLatency:      cfg.MemLatencyCycles,
@@ -412,6 +511,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Tracer:          rec,
 		Metrics:         reg,
 		MetricsInterval: interval,
+		FaultPlan:       plan,
 	})
 	if err != nil {
 		return nil, err
@@ -435,7 +535,15 @@ func NewMeshSystem(cfg MeshConfig) (*System, error) {
 
 // Run executes the batch-means schedule and returns the measurements.
 func (s *System) Run(opt RunOptions) (Result, error) {
-	r, err := s.inner.Run(opt.internal())
+	return s.RunContext(context.Background(), opt)
+}
+
+// RunContext is Run with cancellation: ctx aborts the run between
+// cycle chunks (returning ctx.Err() wrapped), opt.Timeout bounds its
+// wall-clock time, and an internal model panic is recovered into an
+// error instead of crashing the caller.
+func (s *System) RunContext(ctx context.Context, opt RunOptions) (Result, error) {
+	r, err := s.inner.RunCtx(ctx, opt.internal())
 	if err != nil {
 		return Result{}, err
 	}

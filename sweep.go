@@ -1,12 +1,16 @@
 package ringmesh
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"time"
+
+	"ringmesh/internal/rng"
 )
 
 // SweepPoint is one measurement of a size sweep.
@@ -18,6 +22,10 @@ type SweepPoint struct {
 	Topology string
 	// Result holds the measurements.
 	Result Result
+	// Attempts is how many runs this point took (1 = first try).
+	// Retries re-run the point on a seed derived from (base seed,
+	// size, attempt), so a retried point is still reproducible.
+	Attempts int
 }
 
 // SweepOptions controls sweep execution.
@@ -32,6 +40,19 @@ type SweepOptions struct {
 	// order, not size order; writes are serialized, so any io.Writer
 	// is safe.
 	Telemetry io.Writer
+	// PointTimeout bounds each point's wall-clock time (0 = none).
+	// It fills Run.Timeout when that is unset; a timed-out point is
+	// retried like any other runtime failure.
+	PointTimeout time.Duration
+	// Retries is how many times a point that failed at run time
+	// (timeout, stall with FailOnStall, model panic) is re-run before
+	// its failure is recorded. Each retry uses a fresh seed derived
+	// from the base seed so a transient pathology is not replayed
+	// bit-for-bit. Configuration errors are never retried.
+	Retries int
+	// RetryBackoff is the wait before the first retry; it doubles on
+	// each subsequent one (0 = retry immediately).
+	RetryBackoff time.Duration
 }
 
 // sweepTelemetry is the per-point summary emitted on
@@ -47,6 +68,7 @@ type sweepTelemetry struct {
 	Observations int64     `json:"observations"`
 	Saturated    bool      `json:"saturated,omitempty"`
 	Stalled      bool      `json:"stalled,omitempty"`
+	Attempts     int       `json:"attempts,omitempty"`
 }
 
 // DefaultSweepOptions pairs the default run schedule with modest
@@ -55,29 +77,82 @@ func DefaultSweepOptions() SweepOptions {
 	return SweepOptions{Run: DefaultRunOptions(), Workers: 4}
 }
 
+// fatalPointError marks a per-point error that should stop the sweep
+// from scheduling further points: configuration errors (every size
+// would fail the same way) and context cancellation. Runtime
+// failures — timeouts, stalls, panics — are not fatal; the point's
+// failure is recorded and the remaining sizes still run.
+type fatalPointError struct{ err error }
+
+func (e *fatalPointError) Error() string { return e.err.Error() }
+func (e *fatalPointError) Unwrap() error { return e.err }
+
 // SweepSizes measures the base configuration at each node count,
 // re-deriving the geometry per size (base.Topology is ignored; rings
 // use the Table 2 methodology, meshes take the square root). Points
 // come back sorted by size.
 //
-// All failing points are reported: the error joins every per-point
-// error (see errors.Join), and no new points are scheduled once one
-// has failed.
+// Failure handling: a configuration error stops new points from being
+// scheduled (every size would fail the same way), while a runtime
+// failure — timeout, stall with FailOnStall, model panic — is retried
+// per opt.Retries and, once exhausted, recorded without disturbing
+// the remaining sizes. Either way the completed points are returned,
+// alongside an error joining every per-point failure (errors.Join).
 func SweepSizes(base Config, sizes []int, opt SweepOptions) ([]SweepPoint, error) {
-	return sweep(sizes, opt, func(n int) (SweepPoint, error) {
+	return SweepSizesContext(context.Background(), base, sizes, opt)
+}
+
+// SweepSizesContext is SweepSizes with cancellation: when ctx is
+// done, in-flight points abort at their next cycle chunk, no new
+// points start, and the completed points come back with an error
+// wrapping ctx.Err().
+func SweepSizesContext(ctx context.Context, base Config, sizes []int, opt SweepOptions) ([]SweepPoint, error) {
+	return sweep(ctx, sizes, opt, func(ctx context.Context, n int) (SweepPoint, error) {
+		return sweepPoint(ctx, base, n, opt)
+	})
+}
+
+// sweepPoint runs one size with the retry schedule. Attempt 0 uses
+// the base seed unchanged — a sweep without failures is bit-identical
+// to one run point by point — and each retry derives a fresh seed
+// from (base seed, size, attempt).
+func sweepPoint(ctx context.Context, base Config, n int, opt SweepOptions) (SweepPoint, error) {
+	for attempt := 0; ; attempt++ {
 		cfg := base
 		cfg.Topology = ""
 		cfg.Nodes = n
+		if attempt > 0 {
+			cfg.Seed = rng.DeriveSeed(base.Seed, uint64(n)<<8+uint64(attempt))
+		}
 		sys, err := NewSystem(cfg)
 		if err != nil {
-			return SweepPoint{}, fmt.Errorf("ringmesh: size %d: %w", n, err)
+			return SweepPoint{}, &fatalPointError{fmt.Errorf("ringmesh: size %d: %w", n, err)}
 		}
-		res, err := sys.Run(opt.Run)
-		if err != nil {
-			return SweepPoint{}, fmt.Errorf("ringmesh: size %d: %w", n, err)
+		ro := opt.Run
+		if opt.PointTimeout > 0 && ro.Timeout == 0 {
+			ro.Timeout = opt.PointTimeout
 		}
-		return SweepPoint{Nodes: n, Topology: sys.Topology(), Result: res}, nil
-	})
+		res, err := sys.RunContext(ctx, ro)
+		if err == nil {
+			return SweepPoint{Nodes: n, Topology: sys.Topology(), Result: res, Attempts: attempt + 1}, nil
+		}
+		if ctx.Err() != nil {
+			return SweepPoint{}, &fatalPointError{fmt.Errorf("ringmesh: size %d: %w", n, err)}
+		}
+		if attempt >= opt.Retries {
+			return SweepPoint{}, fmt.Errorf("ringmesh: size %d failed after %d attempt(s): %w",
+				n, attempt+1, err)
+		}
+		if d := opt.RetryBackoff << attempt; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return SweepPoint{}, &fatalPointError{fmt.Errorf("ringmesh: size %d: %w", n, ctx.Err())}
+			case <-t.C:
+			}
+		}
+	}
 }
 
 // SweepRingSizes measures the base ring configuration at each node
@@ -98,10 +173,11 @@ func SweepMeshSizes(base MeshConfig, sizes []int, opt SweepOptions) ([]SweepPoin
 }
 
 // sweep fans the per-point function out over a bounded worker pool.
-// Every error is collected (never just the first), and scheduling
-// stops at the first failure so a misconfigured sweep fails fast
-// instead of burning cycles on the remaining sizes.
-func sweep(sizes []int, opt SweepOptions, point func(int) (SweepPoint, error)) ([]SweepPoint, error) {
+// Every error is collected (never just the first). Fatal errors —
+// configuration mistakes and cancellation — stop new points from
+// being scheduled; runtime failures leave the rest of the sweep
+// running. Completed points are always returned, even on error.
+func sweep(ctx context.Context, sizes []int, opt SweepOptions, point func(context.Context, int) (SweepPoint, error)) ([]SweepPoint, error) {
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
@@ -111,29 +187,39 @@ func sweep(sizes []int, opt SweepOptions, point func(int) (SweepPoint, error)) (
 	var wg sync.WaitGroup
 	var errs []error
 	var out []SweepPoint
+	stop := false
 	for _, n := range sizes {
 		n := n
+		// Take the worker slot before consulting the stop flag, so a
+		// failure in the run that just released the slot is seen here
+		// rather than after one more point has been scheduled.
+		sem <- struct{}{}
 		mu.Lock()
-		failed := len(errs) > 0
+		stopped := stop
 		mu.Unlock()
-		if failed {
+		if stopped || ctx.Err() != nil {
+			<-sem
 			break
 		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			p, err := point(n)
+			p, err := point(ctx, n)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				errs = append(errs, err)
+				var fatal *fatalPointError
+				if errors.As(err, &fatal) {
+					stop = true
+				}
 				return
 			}
 			if opt.Telemetry != nil {
 				if terr := writeTelemetry(opt.Telemetry, p); terr != nil {
 					errs = append(errs, fmt.Errorf("ringmesh: telemetry: size %d: %w", n, terr))
+					stop = true
 					return
 				}
 			}
@@ -141,19 +227,26 @@ func sweep(sizes []int, opt SweepOptions, point func(int) (SweepPoint, error)) (
 		}()
 	}
 	wg.Wait()
-	if len(errs) > 0 {
-		// Joined in size order so the report is stable regardless of
-		// which worker finished first.
-		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
-		return nil, errors.Join(errs...)
+	if ctx.Err() != nil && len(errs) == 0 {
+		errs = append(errs, fmt.Errorf("ringmesh: sweep canceled: %w", ctx.Err()))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Nodes < out[j].Nodes })
+	if len(errs) > 0 {
+		// Joined in message order so the report is stable regardless
+		// of which worker finished first.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return out, errors.Join(errs...)
+	}
 	return out, nil
 }
 
 // writeTelemetry emits one JSON line summarizing a finished sweep
 // point. Called with the sweep mutex held.
 func writeTelemetry(w io.Writer, p SweepPoint) error {
+	attempts := p.Attempts
+	if attempts == 1 {
+		attempts = 0 // omit the unremarkable case from the stream
+	}
 	line, err := json.Marshal(sweepTelemetry{
 		Nodes:        p.Nodes,
 		Topology:     p.Topology,
@@ -165,6 +258,7 @@ func writeTelemetry(w io.Writer, p SweepPoint) error {
 		Observations: p.Result.Observations,
 		Saturated:    p.Result.Saturated,
 		Stalled:      p.Result.Stalled,
+		Attempts:     attempts,
 	})
 	if err != nil {
 		return err
