@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck race bench-smoke bench-guard bench-baseline ci
+.PHONY: all build test vet staticcheck race bench-smoke bench-guard bench-baseline smoke-ringmeshd ci
 
 all: build
 
@@ -38,5 +38,10 @@ bench-guard:
 bench-baseline:
 	$(GO) run ./cmd/benchguard -update
 
+# Boot the serving daemon, submit the same run twice, and assert the
+# second is answered from the result cache (end-to-end, over HTTP).
+smoke-ringmeshd:
+	bash ci/smoke_ringmeshd.sh
+
 # The gate run by .github/workflows/ci.yml.
-ci: vet staticcheck build race bench-smoke bench-guard
+ci: vet staticcheck build race bench-smoke bench-guard smoke-ringmeshd

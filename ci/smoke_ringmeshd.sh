@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Smoke test for the serving daemon: build ringmeshd, boot it on an
+# ephemeral port, check health and metrics, submit the same run twice
+# and assert the second is answered from the result cache, then shut
+# down gracefully with SIGTERM. No dependencies beyond curl and the
+# Go toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)/ringmeshd
+log=$(mktemp)
+go build -o "$bin" ./cmd/ringmeshd
+
+"$bin" -addr 127.0.0.1:0 >"$log" 2>&1 &
+pid=$!
+cleanup() { kill "$pid" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# The daemon logs its resolved ephemeral address on startup.
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$log" | head -n 1)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "FAIL: ringmeshd did not start"; cat "$log"; exit 1
+fi
+base="http://$addr"
+
+curl -fsS "$base/healthz" | grep -q '"ok"' || { echo "FAIL: healthz"; exit 1; }
+
+body='{"config":{"network":"mesh","nodes":16,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":42},"options":{"warmup_cycles":500,"batch_cycles":500,"batches":2}}'
+
+first=$(curl -fsS -X POST "$base/v1/runs" -d "$body" | tr -d '[:space:]')
+id=$(printf '%s' "$first" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+if [ -z "$id" ]; then
+  echo "FAIL: no job id in response: $first"; exit 1
+fi
+
+doc=""
+for _ in $(seq 1 200); do
+  doc=$(curl -fsS "$base/v1/jobs/$id" | tr -d '[:space:]')
+  case "$doc" in
+    *'"state":"done"'*) break ;;
+    *'"state":"failed"'*) echo "FAIL: job failed: $doc"; exit 1 ;;
+  esac
+  sleep 0.1
+done
+case "$doc" in
+  *'"state":"done"'*) ;;
+  *) echo "FAIL: job never finished: $doc"; exit 1 ;;
+esac
+
+second=$(curl -fsS -X POST "$base/v1/runs" -d "$body" | tr -d '[:space:]')
+case "$second" in
+  *'"cached":true'*) ;;
+  *) echo "FAIL: identical resubmission not served from cache: $second"; exit 1 ;;
+esac
+case "$second" in
+  *'"state":"done"'*) ;;
+  *) echo "FAIL: cached resubmission not complete: $second"; exit 1 ;;
+esac
+
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^ringmeshd_cache_hits_total [1-9]' \
+  || { echo "FAIL: no cache hit recorded:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -q '^ringmeshd_cache_misses_total 1$' \
+  || { echo "FAIL: expected exactly one cache miss:"; echo "$metrics"; exit 1; }
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+trap - EXIT
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: ringmeshd exited $rc on SIGTERM"; cat "$log"; exit 1
+fi
+
+echo "PASS: ringmeshd smoke ($base, job $id cached on resubmission)"

@@ -33,9 +33,16 @@ func main() {
 		outDir  = flag.String("out", "", "also write <id>.txt and <id>.csv under this directory")
 		plotIt  = flag.Bool("plot", false, "draw ASCII charts after each experiment")
 		seed    = flag.Uint64("seed", 42, "simulation seed")
-		workers = flag.Int("workers", runtime.NumCPU(), "concurrent simulations")
+		workers = flag.Int("workers", runtime.NumCPU(), "concurrent simulations (>= 1)")
 	)
 	flag.Parse()
+
+	// Reject rather than silently clamp: a script that computed 0 or a
+	// negative worker count has a bug it should hear about.
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -workers %d < 1\n", *workers)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range exp.All() {

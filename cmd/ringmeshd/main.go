@@ -1,0 +1,132 @@
+// Command ringmeshd serves simulations over HTTP/JSON: clients POST
+// run and sweep jobs against any registered network model, poll (or
+// SSE-watch) job documents, and identical jobs are answered from a
+// content-addressed result cache — sound because simulations are
+// deterministic (see DESIGN.md §7).
+//
+//	ringmeshd -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/runs -d '{"config":{"network":"mesh","nodes":64,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":42}}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//
+// Endpoints: POST /v1/runs, POST /v1/sweeps, GET /v1/jobs/{id}
+// (?watch=1 for SSE), GET /healthz, GET /metrics.
+//
+// SIGINT/SIGTERM drain gracefully: new submissions get 503 while
+// queued and in-flight jobs finish (bounded by -drain-timeout), then
+// the listener closes. Exit codes: 0 clean shutdown, 1 runtime
+// failure, 2 configuration error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ringmesh/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "pending job bound; submissions past it get 503")
+		cacheEntries = flag.Int("cache-entries", 256, "result cache bound (LRU)")
+		rate         = flag.Float64("rate", 0, "per-client request rate limit in req/s (0 = off)")
+		burst        = flag.Int("burst", 0, "per-client burst size (0 = 2x rate)")
+		maxBody      = flag.Int64("max-body", 1<<20, "request body bound in bytes")
+		jobTimeout   = flag.Duration("job-timeout", 0, "wall-clock bound per job, e.g. 5m (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	if err := validateFlags(*workers, *queue, *cacheEntries, *rate, *burst, *maxBody,
+		*jobTimeout, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		Rate:         *rate,
+		Burst:        *burst,
+		MaxBody:      *maxBody,
+		JobTimeout:   *jobTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
+		os.Exit(1)
+	}
+	log.Printf("ringmeshd: listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
+		os.Exit(1)
+	case <-sigCtx.Done():
+	}
+
+	// Drain first so job polling stays available while in-flight work
+	// finishes; only then close the listener.
+	log.Printf("ringmeshd: draining (up to %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("ringmeshd: drain incomplete: %v", err)
+		code = 1
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("ringmeshd: shutdown: %v", err)
+		code = 1
+	}
+	log.Printf("ringmeshd: stopped")
+	os.Exit(code)
+}
+
+// validateFlags rejects nonsense values with messages naming the flag.
+func validateFlags(workers, queue, cacheEntries int, rate float64, burst int,
+	maxBody int64, jobTimeout, drainTimeout time.Duration) error {
+	switch {
+	case workers < 0:
+		return fmt.Errorf("-workers %d < 0", workers)
+	case queue < 1:
+		return fmt.Errorf("-queue %d < 1", queue)
+	case cacheEntries < 1:
+		return fmt.Errorf("-cache-entries %d < 1", cacheEntries)
+	case rate < 0:
+		return fmt.Errorf("-rate %g < 0", rate)
+	case burst < 0:
+		return fmt.Errorf("-burst %d < 0", burst)
+	case maxBody < 1:
+		return fmt.Errorf("-max-body %d < 1", maxBody)
+	case jobTimeout < 0:
+		return fmt.Errorf("-job-timeout %s < 0", jobTimeout)
+	case drainTimeout < 1*time.Second:
+		return fmt.Errorf("-drain-timeout %s < 1s", drainTimeout)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,187 @@
+package ringmesh
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"ringmesh/internal/fault"
+	"ringmesh/internal/network"
+	"ringmesh/internal/node"
+)
+
+// cacheKeyVersion tags the canonical form; bump it whenever the
+// simulation semantics change in a way that alters results for an
+// unchanged (Config, RunOptions) pair, so stale cached results can
+// never be served as current ones.
+const cacheKeyVersion = "ringmesh-v1"
+
+// canonicalRun is the canonical form CacheKey hashes: every field
+// that can change a Result, normalized so equivalent spellings of one
+// logical configuration collapse onto one key. Field order is fixed
+// by the struct definition (encoding/json emits in declaration
+// order), making the rendered bytes deterministic.
+type canonicalRun struct {
+	Version  string `json:"v"`
+	Network  string `json:"network"`
+	Topology string `json:"topology"` // resolved canonical notation
+	PMs      int    `json:"pms"`
+
+	LineBytes int `json:"line_bytes"`
+	// Family-specific geometry. Fields a family is known to ignore are
+	// zeroed by CacheKey so they cannot split equivalent configs.
+	BufferFlits       int  `json:"buffer_flits"`
+	DoubleSpeedGlobal bool `json:"double_speed_global"`
+	SlottedSwitching  bool `json:"slotted_switching"`
+	IRIQueueFlits     int  `json:"iri_queue_flits"`
+	UnsafeNoVC        bool `json:"unsafe_no_vc"`
+
+	Workload   Workload `json:"workload"`
+	MemLatency int      `json:"mem_latency"` // resolved default
+	Seed       uint64   `json:"seed"`
+	Histogram  bool     `json:"histogram"`
+	FaultPlan  string   `json:"fault_plan"` // canonical rendering, "" when empty
+
+	WarmupCycles   int64 `json:"warmup_cycles"`
+	BatchCycles    int64 `json:"batch_cycles"`
+	Batches        int   `json:"batches"`
+	WatchdogCycles int64 `json:"watchdog_cycles"` // resolved default
+}
+
+// CacheKey returns the canonical content hash of a simulation's
+// semantic inputs — the fields of (cfg, opt) that can influence its
+// Result. Because runs are fully deterministic (the golden tests
+// prove bit-identical results for identical inputs), two calls with
+// equal keys are guaranteed to produce byte-identical results: the
+// key is a sound content address for a result cache, and ringmeshd
+// uses it as exactly that.
+//
+// Canonicalization makes equivalent spellings of one configuration
+// collapse onto one key:
+//
+//   - the geometry is resolved through the topology registry, so
+//     Nodes: 64 and Topology: "8x8" hash equal (and invalid configs
+//     fail here, with the model's own validation message);
+//   - defaulted fields are resolved (MemLatencyCycles 0 = 10,
+//     WatchdogCycles 0 = 20000);
+//   - the fault plan is parsed and re-rendered canonically, so "" and
+//     "none" (both observationally free) hash equal;
+//   - fields a network family is known to ignore are zeroed (a mesh
+//     hashes the same with or without DoubleSpeedGlobal);
+//   - observation-only fields never enter the hash: Metrics, Trace
+//     and their companions cannot change a Result (golden-tested),
+//     and RunOptions.Timeout and FailOnStall only decide whether a
+//     result is returned, never its value.
+//
+// The normalization is deliberately conservative: it only equates
+// spellings proven equivalent, so distinct keys for identical results
+// are possible (a harmless cache miss) but one key for differing
+// results is not.
+func CacheKey(cfg Config, opt RunOptions) (string, error) {
+	plan, err := network.New(cfg.Network, network.Config{
+		Topology:          cfg.Topology,
+		Nodes:             cfg.Nodes,
+		LineBytes:         cfg.LineBytes,
+		BufferFlits:       cfg.BufferFlits,
+		DoubleSpeedGlobal: cfg.DoubleSpeedGlobal,
+		SlottedSwitching:  cfg.SlottedSwitching,
+		UnsafeNoVC:        cfg.UnsafeNoVC,
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := cfg.Workload.internal().Validate(); err != nil {
+		return "", err
+	}
+	faultKey, err := canonicalFaultPlan(cfg.FaultPlan)
+	if err != nil {
+		return "", err
+	}
+
+	c := canonicalRun{
+		Version:  cacheKeyVersion,
+		Network:  cfg.Network,
+		Topology: plan.Topology,
+		PMs:      plan.PMs,
+
+		LineBytes:         cfg.LineBytes,
+		BufferFlits:       cfg.BufferFlits,
+		DoubleSpeedGlobal: cfg.DoubleSpeedGlobal,
+		SlottedSwitching:  cfg.SlottedSwitching,
+		IRIQueueFlits:     0, // not reachable through the facade Config
+		UnsafeNoVC:        cfg.UnsafeNoVC,
+
+		Workload:   cfg.Workload,
+		MemLatency: cfg.MemLatencyCycles,
+		Seed:       cfg.Seed,
+		Histogram:  cfg.Histogram,
+		FaultPlan:  faultKey,
+
+		WarmupCycles:   opt.WarmupCycles,
+		BatchCycles:    opt.BatchCycles,
+		Batches:        opt.Batches,
+		WatchdogCycles: opt.WatchdogCycles,
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = node.DefaultMemLatency
+	}
+	if c.WatchdogCycles == 0 {
+		c.WatchdogCycles = 20000 // core.RunCtx's default horizon
+	}
+	// Zero the fields the built-in families ignore. Unknown (third
+	// party) families keep every field raw: conservative, never wrong.
+	switch cfg.Network {
+	case "ring":
+		c.BufferFlits = 0
+	case "mesh":
+		c.DoubleSpeedGlobal = false
+		c.SlottedSwitching = false
+		c.IRIQueueFlits = 0
+		c.UnsafeNoVC = false
+	}
+
+	raw, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("ringmesh: canonicalize: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalFaultPlan parses the fault DSL and re-renders it in a
+// canonical spelling: "" for every observationally-free plan (empty
+// string, "none", a generator asked for zero events — the golden
+// tests prove these bit-identical to no plan at all), the
+// round-trippable event DSL otherwise. Event order is preserved, not
+// sorted: Plan.Materialize breaks start-cycle ties by plan order, so
+// reordered events are not provably equivalent.
+func canonicalFaultPlan(spec string) (string, error) {
+	if spec == "" {
+		return "", nil
+	}
+	plan, err := fault.Parse(spec)
+	if err != nil {
+		return "", err
+	}
+	if plan.Empty() {
+		return "", nil
+	}
+	parts := make([]string, 0, len(plan.Events)+1)
+	for _, e := range plan.Events {
+		parts = append(parts, e.String())
+	}
+	if g := plan.Gen; g != nil && g.Events > 0 {
+		mean, factor := g.MeanDuration, g.MaxFactor
+		if mean == 0 {
+			mean = 64 // GenSpec's documented defaults, resolved so
+		}
+		if factor == 0 {
+			factor = 4 // explicit and elided spellings hash equal
+		}
+		parts = append(parts, fmt.Sprintf("rand:events=%d,seed=%d,horizon=%d,mean-dur=%d,max-factor=%d",
+			g.Events, g.Seed, g.Horizon, mean, factor))
+	}
+	return strings.Join(parts, ";"), nil
+}

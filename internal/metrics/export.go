@@ -63,13 +63,15 @@ func (s *Sampler) WriteJSONL(w io.Writer) error {
 //	ring_link_util{link="L0"} 0.58
 //
 // Series sharing a name are grouped under one TYPE comment, in
-// registration order. Nil-safe (writes nothing).
+// registration order. Nil-safe (writes nothing), and safe to call
+// concurrently with counter updates and registrations (it renders a
+// snapshot of the series registered at entry).
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	lastName := ""
-	for _, s := range r.series {
+	for _, s := range r.Series() {
 		if s.Name != lastName {
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
 				return err

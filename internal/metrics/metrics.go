@@ -32,6 +32,8 @@ package metrics
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"ringmesh/internal/stats"
 )
@@ -118,15 +120,18 @@ func (k Kind) String() string {
 
 // Counter is a monotonically increasing event count. The nil Counter
 // (handed out by a nil Registry) ignores every call, so instrumented
-// hot paths cost one pointer test when metrics are disabled.
-type Counter struct{ v int64 }
+// hot paths cost one pointer test when metrics are disabled. Counters
+// are atomic, so concurrent jobs may share one (the serving daemon's
+// cache and queue counters); the single-threaded simulation hot paths
+// pay one uncontended atomic add.
+type Counter struct{ v atomic.Int64 }
 
 // Add records n events.
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
 	}
-	c.v += n
+	c.v.Add(n)
 }
 
 // Inc records one event.
@@ -137,7 +142,7 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Series is one named, labelled instrument registered in a Registry.
@@ -193,13 +198,21 @@ func (s *Series) raw() (int64, int64) {
 	}
 }
 
-// Registry holds the instruments of one simulated system in
-// registration order. It is not safe for concurrent use; the
-// simulator is single-threaded per system (concurrent sweep points
-// each build their own registry). The nil Registry disables
-// instrumentation: it hands out nil instruments and registers
-// nothing.
+// Registry holds instruments in registration order. The nil Registry
+// disables instrumentation: it hands out nil instruments and
+// registers nothing.
+//
+// A Registry may be shared across goroutines: registration, lookup,
+// reset and export serialize on an internal lock, and counters are
+// atomic — the contract the serving daemon relies on when concurrent
+// jobs report into one process-wide registry behind a single /metrics
+// endpoint. The exception is Ratio series: their stats.Utilization
+// backings stay owned by one single-threaded simulation, so a shared
+// registry should hold counters and gauges (over atomics) only, and
+// each simulated system keeps its own registry for ratio series as
+// before.
 type Registry struct {
+	mu     sync.RWMutex
 	series []*Series
 	index  map[string]*Series
 }
@@ -209,6 +222,8 @@ type Registry struct {
 // DescribeMetrics, not a runtime condition.
 func (r *Registry) register(s *Series) {
 	key := s.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.index == nil {
 		r.index = map[string]*Series{}
 	}
@@ -259,12 +274,20 @@ func (r *Registry) Ratio(name string, l Labels, backing ...*stats.Utilization) {
 }
 
 // Series returns the registered series in registration order (nil for
-// a nil registry).
+// a nil registry). The returned slice is a snapshot: registrations
+// that race with the call land in later snapshots.
 func (r *Registry) Series() []*Series {
 	if r == nil {
 		return nil
 	}
-	return r.series
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.series == nil {
+		return nil
+	}
+	out := make([]*Series, len(r.series))
+	copy(out, r.series)
+	return out
 }
 
 // Lookup returns the series with the given key.
@@ -272,6 +295,8 @@ func (r *Registry) Lookup(key string) (*Series, bool) {
 	if r == nil {
 		return nil, false
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	s, ok := r.index[key]
 	return s, ok
 }
@@ -285,10 +310,10 @@ func (r *Registry) Reset() {
 	if r == nil {
 		return
 	}
-	for _, s := range r.series {
+	for _, s := range r.Series() {
 		switch s.Kind {
 		case KindCounter:
-			s.counter.v = 0
+			s.counter.v.Store(0)
 		case KindRatio:
 			for _, u := range s.ratios {
 				u.Reset()

@@ -1,0 +1,163 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	var done [100]int32
+	errs := ForEach(context.Background(), 8, len(done), nil, func(i int) error {
+		atomic.AddInt32(&done[i], 1)
+		return nil
+	})
+	if len(errs) != 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+	for i, d := range done {
+		if d != 1 {
+			t.Fatalf("index %d ran %d times", i, d)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max int32
+	ForEach(context.Background(), workers, 50, nil, func(i int) error {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			m := atomic.LoadInt32(&max)
+			if c <= m || atomic.CompareAndSwapInt32(&max, m, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if got := atomic.LoadInt32(&max); got > workers {
+		t.Fatalf("observed %d concurrent calls, want <= %d", got, workers)
+	}
+}
+
+// TestForEachZeroWorkersIsSerial pins the documented contract that a
+// zero (or negative) worker count means serial execution — the
+// SweepOptions{Workers: 0} semantics.
+func TestForEachZeroWorkersIsSerial(t *testing.T) {
+	for _, workers := range []int{0, -3} {
+		var cur, max int32
+		var order []int
+		var mu sync.Mutex
+		ForEach(context.Background(), workers, 20, nil, func(i int) error {
+			c := atomic.AddInt32(&cur, 1)
+			if c > atomic.LoadInt32(&max) {
+				atomic.StoreInt32(&max, c)
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			atomic.AddInt32(&cur, -1)
+			return nil
+		})
+		if max != 1 {
+			t.Fatalf("workers=%d: observed %d concurrent calls, want 1", workers, max)
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("workers=%d: serial execution out of order: %v", workers, order)
+			}
+		}
+	}
+}
+
+func TestForEachFatalStopsScheduling(t *testing.T) {
+	boom := errors.New("boom")
+	var calls int32
+	errs := ForEach(context.Background(), 1, 10, func(err error) bool { return errors.Is(err, boom) },
+		func(i int) error {
+			atomic.AddInt32(&calls, 1)
+			if i == 2 {
+				return boom
+			}
+			return nil
+		})
+	// Serial execution: indices 0..2 run, the fatal error at 2 stops
+	// index 3 (and everything after) from being scheduled.
+	if got := atomic.LoadInt32(&calls); got != 3 {
+		t.Fatalf("fn ran %d times, want 3", got)
+	}
+	if len(errs) != 1 || !errors.Is(errs[0], boom) {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestForEachNonFatalErrorsKeepGoing(t *testing.T) {
+	var calls int32
+	errs := ForEach(context.Background(), 2, 10, func(error) bool { return false },
+		func(i int) error {
+			atomic.AddInt32(&calls, 1)
+			return errors.New("transient")
+		})
+	if got := atomic.LoadInt32(&calls); got != 10 {
+		t.Fatalf("fn ran %d times, want 10", got)
+	}
+	if len(errs) != 10 {
+		t.Fatalf("collected %d errors, want 10", len(errs))
+	}
+}
+
+func TestForEachContextCancelStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int32
+	ForEach(ctx, 1, 100, nil, func(i int) error {
+		if atomic.AddInt32(&calls, 1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if got := atomic.LoadInt32(&calls); got != 3 {
+		t.Fatalf("fn ran %d times after cancel, want 3", got)
+	}
+}
+
+func TestWorkersDrainsQueue(t *testing.T) {
+	jobs := make(chan int, 32)
+	var sum int64
+	wait := Workers(4, jobs, func(j int) { atomic.AddInt64(&sum, int64(j)) })
+	want := int64(0)
+	for i := 1; i <= 32; i++ {
+		jobs <- i
+		want += int64(i)
+	}
+	close(jobs)
+	wait()
+	if got := atomic.LoadInt64(&sum); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestWorkersZeroMeansOne(t *testing.T) {
+	jobs := make(chan int)
+	var cur, max int32
+	wait := Workers(0, jobs, func(int) {
+		c := atomic.AddInt32(&cur, 1)
+		if c > atomic.LoadInt32(&max) {
+			atomic.StoreInt32(&max, c)
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+	})
+	for i := 0; i < 8; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wait()
+	if max != 1 {
+		t.Fatalf("observed %d concurrent workers, want 1", max)
+	}
+}

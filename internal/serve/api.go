@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"ringmesh"
+)
+
+// runRequest is the POST /v1/runs body: a facade Config (snake_case
+// wire names, see ringmesh.Config) plus an optional run schedule
+// (omitted: DefaultRunOptions).
+type runRequest struct {
+	Config  ringmesh.Config      `json:"config"`
+	Options *ringmesh.RunOptions `json:"options"`
+}
+
+// sweepRequest is the POST /v1/sweeps body: a base Config measured at
+// each size (topology re-derived per size, as SweepSizes does).
+type sweepRequest struct {
+	Config  ringmesh.Config      `json:"config"`
+	Sizes   []int                `json:"sizes"`
+	Options *ringmesh.RunOptions `json:"options"`
+}
+
+// errorBody is the JSON error envelope on non-2xx responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's route table:
+//
+//	POST /v1/runs        submit one simulation (202, or 200 on a cache hit)
+//	POST /v1/sweeps      submit a size sweep (202)
+//	GET  /v1/jobs/{id}   poll a job document; ?watch=1 streams SSE
+//	GET  /healthz        200 while accepting work, 503 while draining
+//	GET  /metrics        Prometheus-style text snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// clientKey identifies a client for rate limiting: the source address
+// without the ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// gate applies the submission-path request checks shared by runs and
+// sweeps: drain state (a draining server accepts no new jobs, cached
+// or not), rate limit, then body decode with unknown fields rejected.
+// It reports false after writing the error response.
+func (s *Server) gate(w http.ResponseWriter, r *http.Request, into any) bool {
+	if s.drainingNow() {
+		s.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return false
+	}
+	if !s.limit.allow(clientKey(r)) {
+		s.rateLimited.Inc()
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// validateRunOptions checks the schedule fields the models never see
+// (CacheKey validates the config itself).
+func validateRunOptions(o ringmesh.RunOptions) error {
+	switch {
+	case o.WarmupCycles < 0:
+		return fmt.Errorf("warmup_cycles %d < 0", o.WarmupCycles)
+	case o.BatchCycles < 1:
+		return fmt.Errorf("batch_cycles %d < 1", o.BatchCycles)
+	case o.Batches < 1:
+		return fmt.Errorf("batches %d < 1", o.Batches)
+	case o.WatchdogCycles < 0:
+		return fmt.Errorf("watchdog_cycles %d < 0", o.WatchdogCycles)
+	case o.Timeout < 0:
+		return fmt.Errorf("timeout_ns %d < 0", o.Timeout)
+	default:
+		return nil
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !s.gate(w, r, &req) {
+		return
+	}
+	opt := ringmesh.DefaultRunOptions()
+	if req.Options != nil {
+		opt = *req.Options
+	}
+	if err := validateRunOptions(opt); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
+		return
+	}
+	key, err := ringmesh.CacheKey(req.Config, opt)
+	if err != nil {
+		// The model's own validation message, verbatim — the same text
+		// NewSystem would produce.
+		writeError(w, http.StatusBadRequest, "invalid config: %v", err)
+		return
+	}
+
+	j := newJob("", "run")
+	j.cfg, j.opt, j.key = req.Config, opt, key
+
+	// Submission-time cache probe: a hit completes the job without it
+	// ever touching the queue, so cached replays cost one map lookup
+	// even when the queue is saturated.
+	if res, ok := s.cache.get(key); ok {
+		j.finish(&res, nil, true, nil)
+		s.register(j)
+		s.accepted.Inc()
+		s.completed.Inc()
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+
+	s.register(j)
+	if err := s.enqueue(j); err != nil {
+		s.unregister(j)
+		s.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.accepted.Inc()
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !s.gate(w, r, &req) {
+		return
+	}
+	opt := ringmesh.DefaultRunOptions()
+	if req.Options != nil {
+		opt = *req.Options
+	}
+	if err := validateRunOptions(opt); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
+		return
+	}
+	if len(req.Sizes) == 0 {
+		writeError(w, http.StatusBadRequest, "sizes must name at least one node count")
+		return
+	}
+	// Validate every size up front so a doomed sweep fails at submit
+	// with the model's message, not halfway through the job.
+	for _, n := range req.Sizes {
+		cfg := req.Config
+		cfg.Topology = ""
+		cfg.Nodes = n
+		if _, err := ringmesh.CacheKey(cfg, opt); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid config at size %d: %v", n, err)
+			return
+		}
+	}
+
+	j := newJob("", "sweep")
+	j.cfg, j.opt = req.Config, opt
+	j.sizes = append([]int(nil), req.Sizes...)
+	s.register(j)
+	if err := s.enqueue(j); err != nil {
+		s.unregister(j)
+		s.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.accepted.Inc()
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if r.URL.Query().Get("watch") != "" {
+		s.watchJob(w, r, j)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// watchJob streams the job document over Server-Sent Events: a
+// "progress" event with the current document every interval, then one
+// "done" event with the final document when the job completes.
+func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, j *job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string) bool {
+		doc, err := json.Marshal(j.view())
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, doc); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if j.finished() {
+		send("done")
+		return
+	}
+	if !send("progress") {
+		return
+	}
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			send("done")
+			return
+		case <-tick.C:
+			if !send("progress") {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.drainingNow() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WriteText(w)
+}

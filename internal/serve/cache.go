@@ -1,0 +1,172 @@
+// Package serve is the ringmeshd serving subsystem: an HTTP/JSON
+// front end over the ringmesh facade with a bounded job queue, a
+// worker pool (internal/pool, shared with sweeps and the experiment
+// driver), and a content-addressed result cache.
+//
+// The cache is sound because simulations are deterministic: a
+// (topology, config, run-schedule, seed) tuple produces bit-identical
+// Results on every run (the repo's golden tests prove it), so a
+// result stored under the canonical hash of those inputs
+// (ringmesh.CacheKey) can be replayed for any later request with the
+// same key without approximation. See DESIGN.md §7.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"ringmesh"
+	"ringmesh/internal/metrics"
+)
+
+// flight is one in-progress computation other requests with the same
+// key wait on instead of re-simulating.
+type flight struct {
+	done chan struct{} // closed when res/err are readable
+	res  ringmesh.Result
+	err  error
+}
+
+// cacheEntry is one stored result.
+type cacheEntry struct {
+	key string
+	res ringmesh.Result
+}
+
+// resultCache is a bounded LRU of simulation results keyed by
+// ringmesh.CacheKey, with single-flight deduplication: concurrent
+// requests for one key run the simulation exactly once and share its
+// result. Safe for concurrent use.
+//
+// Only successful, non-stalled results are stored. Errors (timeouts,
+// cancellations, panics) describe the attempt, not the configuration,
+// and a stalled result depends on the watchdog horizon in ways the
+// caller may want to retry with different options — both are cheap to
+// reproduce relative to the cost of serving a wrong answer forever.
+type resultCache struct {
+	mu       sync.Mutex
+	max      int
+	order    *list.List               // front = most recently used
+	entries  map[string]*list.Element // value: *cacheEntry
+	inflight map[string]*flight
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	coalesced *metrics.Counter
+	evictions *metrics.Counter
+}
+
+// newResultCache returns a cache bounded to max entries (min 1),
+// registering its counters and size gauge in reg (nil disables
+// instrumentation; the cache still works).
+func newResultCache(max int, reg *metrics.Registry) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	c := &resultCache{
+		max:       max,
+		order:     list.New(),
+		entries:   map[string]*list.Element{},
+		inflight:  map[string]*flight{},
+		hits:      reg.Counter("ringmeshd_cache_hits_total", metrics.Labels{}),
+		misses:    reg.Counter("ringmeshd_cache_misses_total", metrics.Labels{}),
+		coalesced: reg.Counter("ringmeshd_cache_coalesced_total", metrics.Labels{}),
+		evictions: reg.Counter("ringmeshd_cache_evictions_total", metrics.Labels{}),
+	}
+	if reg != nil {
+		reg.Gauge("ringmeshd_cache_entries", metrics.Labels{}, func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.entries))
+		})
+		reg.Gauge("ringmeshd_cache_inflight", metrics.Labels{}, func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.inflight))
+		})
+	}
+	return c
+}
+
+// get probes the cache without computing — the submission-time check
+// that lets a hit complete a job before it is ever queued.
+func (c *resultCache) get(key string) (ringmesh.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return ringmesh.Result{}, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).res, true
+}
+
+// do returns the cached result for key, or computes it exactly once
+// under single-flight: concurrent callers with the same key block on
+// the leader's flight and share its outcome. The second return is
+// true when the result was replayed rather than computed by this
+// call — a stored hit or a coalesced wait on another caller's
+// successful computation.
+func (c *resultCache) do(ctx context.Context, key string, compute func() (ringmesh.Result, error)) (ringmesh.Result, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits.Inc()
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced.Inc()
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			// A leader error is shared too (same inputs, same failure
+			// class) but is not a replayed result.
+			return f.res, f.err == nil, f.err
+		case <-ctx.Done():
+			return ringmesh.Result{}, false, ctx.Err()
+		}
+	}
+	c.misses.Inc()
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.res, f.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil && !f.res.Stalled {
+		c.insertLocked(key, f.res)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}
+
+// insertLocked stores a result, evicting from the LRU tail past the
+// bound. Caller holds c.mu.
+func (c *resultCache) insertLocked(key string, res ringmesh.Result) {
+	if el, ok := c.entries[key]; ok { // lost a benign race; refresh
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for len(c.entries) > c.max {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+}
+
+// len reports the number of stored entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"ringmesh"
+	"ringmesh/internal/metrics"
+)
+
+func res(latency float64) ringmesh.Result {
+	return ringmesh.Result{LatencyCycles: latency}
+}
+
+func TestCacheHitAfterCompute(t *testing.T) {
+	reg := &metrics.Registry{}
+	c := newResultCache(4, reg)
+	ctx := context.Background()
+
+	computes := 0
+	compute := func() (ringmesh.Result, error) { computes++; return res(10), nil }
+
+	r, cached, err := c.do(ctx, "k", compute)
+	if err != nil || cached || r.LatencyCycles != 10 {
+		t.Fatalf("first do = (%v, %v, %v); want fresh 10", r.LatencyCycles, cached, err)
+	}
+	r, cached, err = c.do(ctx, "k", compute)
+	if err != nil || !cached || r.LatencyCycles != 10 {
+		t.Fatalf("second do = (%v, %v, %v); want cached 10", r.LatencyCycles, cached, err)
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times; want 1", computes)
+	}
+	if got, _ := c.get("k"); got.LatencyCycles != 10 {
+		t.Fatalf("get = %v; want 10", got.LatencyCycles)
+	}
+	if c.hits.Value() != 2 || c.misses.Value() != 1 {
+		t.Fatalf("hits=%d misses=%d; want 2/1", c.hits.Value(), c.misses.Value())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2, nil)
+	ctx := context.Background()
+	for i, k := range []string{"a", "b", "c"} {
+		v := float64(i)
+		if _, _, err := c.do(ctx, k, func() (ringmesh.Result, error) { return res(v), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d; want 2", c.len())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatalf("oldest entry survived eviction")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("entry %q evicted; want kept", k)
+		}
+	}
+
+	// Touching "b" must protect it from the next eviction.
+	c.get("b")
+	if _, _, err := c.do(ctx, "d", func() (ringmesh.Result, error) { return res(3), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Fatalf("recently-used entry evicted")
+	}
+	if _, ok := c.get("c"); ok {
+		t.Fatalf("least-recently-used entry kept")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := newResultCache(4, nil)
+	ctx := context.Background()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	computes := 0
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, cached, err := c.do(ctx, "k", func() (ringmesh.Result, error) {
+			computes++
+			close(entered)
+			<-release
+			return res(7), nil
+		})
+		if err != nil || cached {
+			t.Errorf("leader = (cached=%v, err=%v); want fresh", cached, err)
+		}
+	}()
+	<-entered
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	results := make([]ringmesh.Result, waiters)
+	cachedFlags := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, cached, err := c.do(ctx, "k", func() (ringmesh.Result, error) {
+				t.Error("waiter computed; want coalesced")
+				return ringmesh.Result{}, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i], cachedFlags[i] = r, cached
+		}(i)
+	}
+	// Waiters may still be between the inflight check and the wait;
+	// give the scheduler a chance, then release the leader.
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	for i := 0; i < waiters; i++ {
+		if results[i].LatencyCycles != 7 || !cachedFlags[i] {
+			t.Fatalf("waiter %d = (%v, cached=%v); want coalesced 7", i, results[i].LatencyCycles, cachedFlags[i])
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times; want 1", computes)
+	}
+}
+
+func TestCacheDoesNotStoreErrorsOrStalls(t *testing.T) {
+	c := newResultCache(4, nil)
+	ctx := context.Background()
+
+	boom := errors.New("boom")
+	if _, _, err := c.do(ctx, "err", func() (ringmesh.Result, error) { return ringmesh.Result{}, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	if _, ok := c.get("err"); ok {
+		t.Fatalf("error result was cached")
+	}
+
+	stalled := ringmesh.Result{Stalled: true}
+	if _, cached, err := c.do(ctx, "stall", func() (ringmesh.Result, error) { return stalled, nil }); err != nil || cached {
+		t.Fatalf("stall do = (cached=%v, err=%v)", cached, err)
+	}
+	if _, ok := c.get("stall"); ok {
+		t.Fatalf("stalled result was cached; a later run with a longer watchdog could differ")
+	}
+	if c.len() != 0 {
+		t.Fatalf("len = %d; want 0", c.len())
+	}
+}
+
+func TestCacheWaiterCancellation(t *testing.T) {
+	c := newResultCache(4, nil)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go c.do(context.Background(), "k", func() (ringmesh.Result, error) {
+		close(entered)
+		<-release
+		return res(1), nil
+	})
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.do(ctx, "k", func() (ringmesh.Result, error) { return res(0), nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+	close(release)
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"ringmesh"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	// JobQueued means the job is accepted but no worker has started it.
+	JobQueued JobState = "queued"
+	// JobRunning means a worker is simulating it.
+	JobRunning JobState = "running"
+	// JobDone means it finished with a result.
+	JobDone JobState = "done"
+	// JobFailed means it finished with an error.
+	JobFailed JobState = "failed"
+)
+
+// JobError describes a failed job in the job document. Status carries
+// the same taxonomy as cmd/ringmesh's exit codes, mapped onto HTTP:
+// configuration errors are 400 (though most are caught synchronously
+// at submission), stalls 422, timeouts 504, cancellation (drain) 503,
+// and anything else 500.
+type JobError struct {
+	Status  int                      `json:"status"`
+	Kind    string                   `json:"kind"`
+	Message string                   `json:"message"`
+	Stall   *ringmesh.StallDiagnosis `json:"stall,omitempty"`
+}
+
+// errConfig marks an error produced while constructing a system —
+// a configuration problem by definition.
+type configError struct{ err error }
+
+func (e *configError) Error() string { return e.err.Error() }
+func (e *configError) Unwrap() error { return e.err }
+
+// classify maps a run error onto the job-document error taxonomy.
+func classify(err error) *JobError {
+	if err == nil {
+		return nil
+	}
+	je := &JobError{Message: err.Error()}
+	var ce *configError
+	switch {
+	case errors.As(err, &ce):
+		je.Status, je.Kind = http.StatusBadRequest, "config"
+	case errors.Is(err, ringmesh.ErrStalled):
+		je.Status, je.Kind = http.StatusUnprocessableEntity, "stall"
+		je.Stall = ringmesh.DiagnoseStall(err)
+	case errors.Is(err, ringmesh.ErrTimeout):
+		je.Status, je.Kind = http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		je.Status, je.Kind = http.StatusServiceUnavailable, "canceled"
+	default:
+		je.Status, je.Kind = http.StatusInternalServerError, "runtime"
+	}
+	return je
+}
+
+// job is one accepted unit of work: a single run or a size sweep.
+type job struct {
+	id    string
+	kind  string // "run" or "sweep"
+	cfg   ringmesh.Config
+	opt   ringmesh.RunOptions
+	key   string // CacheKey (runs only; sweeps key per point)
+	sizes []int  // sweeps only
+
+	// Progress. For runs, tick counts engine ticks out of totalTicks
+	// (fed by the engine's per-cycle hook; totalTicks is written by the
+	// executing worker and read by watchers, hence atomic). For sweeps,
+	// pointsDone counts finished sizes out of len(sizes).
+	tick       atomic.Int64
+	totalTicks atomic.Int64
+	pointsDone atomic.Int64
+
+	mu     sync.Mutex
+	state  JobState
+	cached bool
+	result *ringmesh.Result
+	points []ringmesh.SweepPoint
+	errObj *JobError
+	done   chan struct{} // closed on completion (done or failed)
+}
+
+// JobView is the job document served by GET /v1/jobs/{id} and
+// embedded in submission responses.
+type JobView struct {
+	ID    string   `json:"id"`
+	Kind  string   `json:"kind"`
+	State JobState `json:"state"`
+	// Cached is true when the result was replayed from the cache (or a
+	// coalesced concurrent computation) instead of simulated by this
+	// job.
+	Cached bool `json:"cached"`
+	// Progress is the fraction of the schedule completed, in [0, 1].
+	Progress float64               `json:"progress"`
+	Result   *ringmesh.Result      `json:"result,omitempty"`
+	Points   []ringmesh.SweepPoint `json:"points,omitempty"`
+	Error    *JobError             `json:"error,omitempty"`
+}
+
+// newJob builds a queued job with a completion channel.
+func newJob(id, kind string) *job {
+	return &job{id: id, kind: kind, state: JobQueued, done: make(chan struct{})}
+}
+
+// progress returns the completed fraction of the job's schedule.
+func (j *job) progress() float64 {
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	switch state {
+	case JobDone, JobFailed:
+		return 1
+	case JobQueued:
+		return 0
+	}
+	if j.kind == "sweep" {
+		if n := len(j.sizes); n > 0 {
+			return float64(j.pointsDone.Load()) / float64(n)
+		}
+		return 0
+	}
+	total := j.totalTicks.Load()
+	if total <= 0 {
+		return 0
+	}
+	p := float64(j.tick.Load()) / float64(total)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// view snapshots the job document.
+func (j *job) view() JobView {
+	p := j.progress()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.id,
+		Kind:     j.kind,
+		State:    j.state,
+		Cached:   j.cached,
+		Progress: p,
+		Error:    j.errObj,
+	}
+	if j.result != nil {
+		r := *j.result
+		v.Result = &r
+	}
+	if j.points != nil {
+		v.Points = append([]ringmesh.SweepPoint(nil), j.points...)
+	}
+	return v
+}
+
+// start transitions queued -> running.
+func (j *job) start() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+}
+
+// finish records the outcome and closes the completion channel.
+func (j *job) finish(res *ringmesh.Result, points []ringmesh.SweepPoint, cached bool, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = JobFailed
+		j.errObj = classify(err)
+	} else {
+		j.state = JobDone
+		j.result = res
+		j.points = points
+	}
+	j.cached = cached
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// finished reports whether the job has completed (either way).
+func (j *job) finished() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}

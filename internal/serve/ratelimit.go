@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxClients bounds the limiter's per-client state. When exceeded,
+// buckets that have refilled to full burst (i.e. idle clients) are
+// pruned; an attacker rotating source addresses can therefore evict
+// only idle state, never another client's debt.
+const maxClients = 4096
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is a per-client token bucket: each client may sustain
+// rate requests per second with bursts up to burst. A nil limiter (or
+// one with rate <= 0) allows everything. Safe for concurrent use.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+// newRateLimiter builds a limiter allowing rate requests/second per
+// client with bursts of burst. rate <= 0 disables limiting (returns
+// nil, which allow treats as permissive).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		clients: map[string]*bucket{},
+	}
+}
+
+// allow reports whether client may make a request now, consuming one
+// token if so.
+func (l *rateLimiter) allow(client string) bool {
+	if l == nil {
+		return true
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.clients[client]
+	if !ok {
+		if len(l.clients) >= maxClients {
+			l.pruneLocked()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// pruneLocked drops buckets whose tokens have refilled to full burst —
+// clients idle long enough to have forgotten nothing that matters.
+// Caller holds l.mu.
+func (l *rateLimiter) pruneLocked() {
+	now := l.now()
+	for k, b := range l.clients {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.clients, k)
+		}
+	}
+}

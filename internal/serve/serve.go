@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ringmesh"
+	"ringmesh/internal/metrics"
+	"ringmesh/internal/network"
+	"ringmesh/internal/pool"
+)
+
+// jobRetain bounds the number of finished job documents kept for
+// polling; the oldest finished jobs are dropped past it. In-flight
+// jobs are never dropped.
+const jobRetain = 1024
+
+// Options configures a Server. The zero value selects the defaults
+// noted per field.
+type Options struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds pending jobs; submissions past it are rejected
+	// with 503 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256).
+	CacheEntries int
+	// Rate is the per-client request budget in requests/second
+	// (0 disables rate limiting).
+	Rate float64
+	// Burst is the per-client burst size (default 2*Rate, minimum 1).
+	Burst int
+	// MaxBody bounds request bodies in bytes (default 1 MiB).
+	MaxBody int64
+	// JobTimeout bounds each job's wall-clock time (0 = none).
+	JobTimeout time.Duration
+	// Registry receives the daemon's instruments and is exported at
+	// /metrics (nil: the server creates a private one).
+	Registry *metrics.Registry
+}
+
+// Errors the submission path reports; the HTTP layer maps both to 503.
+var (
+	errDraining  = errors.New("serve: draining, not accepting jobs")
+	errQueueFull = errors.New("serve: job queue full")
+)
+
+// Server executes simulation jobs from a bounded queue on a fixed
+// worker pool, deduplicating identical work through the
+// content-addressed result cache. Build one with New, mount Handler
+// on an http.Server, and Drain on shutdown.
+type Server struct {
+	opt   Options
+	reg   *metrics.Registry
+	cache *resultCache
+	limit *rateLimiter
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	queue chan *job
+	wait  func()
+
+	submitMu sync.Mutex // guards draining and queue sends vs close
+	draining bool
+
+	jobsMu   sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string
+	nextID   int64
+
+	accepted    *metrics.Counter
+	rejected    *metrics.Counter
+	rateLimited *metrics.Counter
+	completed   *metrics.Counter
+	failed      *metrics.Counter
+}
+
+// New builds a Server and starts its worker pool.
+func New(opt Options) *Server {
+	if opt.Workers < 1 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.QueueDepth < 1 {
+		opt.QueueDepth = 64
+	}
+	if opt.CacheEntries < 1 {
+		opt.CacheEntries = 256
+	}
+	if opt.Burst < 1 {
+		opt.Burst = int(2 * opt.Rate)
+	}
+	if opt.MaxBody < 1 {
+		opt.MaxBody = 1 << 20
+	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = &metrics.Registry{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opt:     opt,
+		reg:     reg,
+		cache:   newResultCache(opt.CacheEntries, reg),
+		limit:   newRateLimiter(opt.Rate, opt.Burst),
+		baseCtx: ctx,
+		cancel:  cancel,
+		queue:   make(chan *job, opt.QueueDepth),
+		jobs:    map[string]*job{},
+
+		accepted:    reg.Counter("ringmeshd_jobs_accepted_total", metrics.Labels{}),
+		rejected:    reg.Counter("ringmeshd_jobs_rejected_total", metrics.Labels{}),
+		rateLimited: reg.Counter("ringmeshd_requests_rate_limited_total", metrics.Labels{}),
+		completed:   reg.Counter("ringmeshd_jobs_completed_total", metrics.Labels{}),
+		failed:      reg.Counter("ringmeshd_jobs_failed_total", metrics.Labels{}),
+	}
+	reg.Gauge("ringmeshd_queue_depth", metrics.Labels{}, func() float64 {
+		return float64(len(s.queue))
+	})
+	s.wait = pool.Workers(opt.Workers, s.queue, s.execute)
+	return s
+}
+
+// Registry returns the server's instrument registry (the one exported
+// at /metrics).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Drain stops accepting new jobs (submissions get 503), lets queued
+// and in-flight jobs finish, and returns when the pool is idle. If
+// ctx expires first, the remaining jobs are canceled (they fail with
+// a "canceled" job error), the pool is still waited out, and
+// ctx.Err() is returned. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.submitMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.submitMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// drainingNow reports whether Drain has been initiated.
+func (s *Server) drainingNow() bool {
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+	return s.draining
+}
+
+// enqueue accepts a job into the bounded queue, or reports why not.
+func (s *Server) enqueue(j *job) error {
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// register stores a job for polling, dropping the oldest finished
+// documents past the retention bound, and returns its fresh id.
+func (s *Server) register(j *job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.nextID++
+	j.id = fmt.Sprintf("j%06d", s.nextID)
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	for len(s.jobOrder) > jobRetain {
+		oldest := s.jobOrder[0]
+		if old, ok := s.jobs[oldest]; ok && !old.finished() {
+			break // never drop live jobs; retention resumes when they end
+		}
+		delete(s.jobs, oldest)
+		s.jobOrder = s.jobOrder[1:]
+	}
+}
+
+// unregister removes a job that was never accepted into the queue.
+func (s *Server) unregister(j *job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	delete(s.jobs, j.id)
+	for i, id := range s.jobOrder {
+		if id == j.id {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// lookup finds a job by id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// execute runs one job on a pool worker.
+func (s *Server) execute(j *job) {
+	j.start()
+	ctx := s.baseCtx
+	if s.opt.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.JobTimeout)
+		defer cancel()
+	}
+	var err error
+	switch j.kind {
+	case "sweep":
+		err = s.executeSweep(ctx, j)
+	default:
+		err = s.executeRun(ctx, j)
+	}
+	if err != nil {
+		s.failed.Inc()
+	} else {
+		s.completed.Inc()
+	}
+}
+
+// executeRun resolves a single run through the cache (single-flight:
+// concurrent identical jobs simulate once and share the result).
+func (s *Server) executeRun(ctx context.Context, j *job) error {
+	res, cached, err := s.cache.do(ctx, j.key, func() (ringmesh.Result, error) {
+		return s.simulate(ctx, j, j.cfg, j.opt)
+	})
+	if err != nil {
+		j.finish(nil, nil, false, err)
+		return err
+	}
+	j.finish(&res, nil, cached, nil)
+	return nil
+}
+
+// executeSweep runs one cached simulation per size, serially within
+// the job (cross-job parallelism comes from the worker pool). Each
+// point uses the same cache key a single run of that size would, so
+// sweeps populate — and benefit from — the same cache.
+func (s *Server) executeSweep(ctx context.Context, j *job) error {
+	points := make([]ringmesh.SweepPoint, 0, len(j.sizes))
+	allCached := len(j.sizes) > 0
+	for _, n := range j.sizes {
+		cfg := j.cfg
+		cfg.Topology = ""
+		cfg.Nodes = n
+		key, err := ringmesh.CacheKey(cfg, j.opt)
+		if err != nil {
+			err = &configError{fmt.Errorf("size %d: %w", n, err)}
+			j.finish(nil, nil, false, err)
+			return err
+		}
+		res, cached, err := s.cache.do(ctx, key, func() (ringmesh.Result, error) {
+			return s.simulate(ctx, nil, cfg, j.opt)
+		})
+		if err != nil {
+			err = fmt.Errorf("size %d: %w", n, err)
+			j.finish(nil, nil, false, err)
+			return err
+		}
+		if !cached {
+			allCached = false
+		}
+		points = append(points, ringmesh.SweepPoint{
+			Nodes: n, Topology: resolveTopology(cfg), Result: res, Attempts: 1,
+		})
+		j.pointsDone.Add(1)
+	}
+	sort.Slice(points, func(a, b int) bool { return points[a].Nodes < points[b].Nodes })
+	j.finish(nil, points, allCached, nil)
+	return nil
+}
+
+// simulate builds and runs one system. When j is a single-run job its
+// progress atomics are wired to the engine's per-cycle hook so
+// watchers see live completion fractions.
+func (s *Server) simulate(ctx context.Context, j *job, cfg ringmesh.Config, opt ringmesh.RunOptions) (ringmesh.Result, error) {
+	sys, err := ringmesh.NewSystem(cfg)
+	if err != nil {
+		return ringmesh.Result{}, &configError{err}
+	}
+	if j != nil {
+		cycles := opt.WarmupCycles + opt.BatchCycles*int64(opt.Batches)
+		j.totalTicks.Store(cycles * sys.TicksPerCycle())
+		sys.OnCycle(func(tick int64, _ uint64) { j.tick.Store(tick) })
+	}
+	return sys.RunContext(ctx, opt)
+}
+
+// resolveTopology renders a config's geometry in the model's canonical
+// notation. The config is already validated (CacheKey succeeded), so
+// resolution cannot fail; the empty string on a registry miss is
+// defensive.
+func resolveTopology(cfg ringmesh.Config) string {
+	plan, err := network.New(cfg.Network, network.Config{
+		Topology:          cfg.Topology,
+		Nodes:             cfg.Nodes,
+		LineBytes:         cfg.LineBytes,
+		BufferFlits:       cfg.BufferFlits,
+		DoubleSpeedGlobal: cfg.DoubleSpeedGlobal,
+		SlottedSwitching:  cfg.SlottedSwitching,
+		UnsafeNoVC:        cfg.UnsafeNoVC,
+	})
+	if err != nil {
+		return ""
+	}
+	return plan.Topology
+}

@@ -56,26 +56,30 @@ import (
 // issues cache misses over an access region of its R·(P−1) closest
 // PMs, at rate C misses per cycle, blocking after T outstanding
 // transactions.
+//
+// The JSON field names (here and on Config, RunOptions, Result and
+// SweepPoint) are the ringmeshd serving API's wire format; see the
+// README's Serving section.
 type Workload struct {
 	// R is the access-region fraction in (0, 1]; 1.0 means no
 	// locality (uniform over the machine).
-	R float64
+	R float64 `json:"r"`
 	// C is the per-cycle cache miss probability (paper: 0.04).
-	C float64
+	C float64 `json:"c"`
 	// T is the number of outstanding transactions a processor may
 	// have before blocking (paper: 1, 2 or 4).
-	T int
+	T int `json:"t"`
 	// ReadProb is the probability a miss is a read (paper: 0.7).
-	ReadProb float64
+	ReadProb float64 `json:"read_prob"`
 	// Deterministic spaces misses exactly 1/C cycles apart instead of
 	// geometrically (an ablation option; the paper's generator is
 	// stochastic).
-	Deterministic bool
+	Deterministic bool `json:"deterministic,omitempty"`
 	// OpenLoop keeps generating misses while the processor is blocked
 	// on its T-window, queueing them at the processor; latency then
 	// counts from generation time. See the workload package for why
 	// the closed-loop default matches the paper's reported behaviour.
-	OpenLoop bool
+	OpenLoop bool `json:"open_loop,omitempty"`
 }
 
 // PaperWorkload returns the paper's baseline workload: R=1.0, C=0.04,
@@ -98,54 +102,54 @@ type Config struct {
 	// Network is the registered interconnect name; see Topologies().
 	// Built-ins: "ring" (hierarchical rings) and "mesh" (square 2D
 	// bi-directional mesh).
-	Network string
+	Network string `json:"network"`
 	// Topology names the geometry in the model's own notation — the
 	// paper's colon notation for rings ("2:3:4", "12"), "KxK" for
 	// meshes. Leave empty and set Nodes to derive it from the
 	// processor count.
-	Topology string
+	Topology string `json:"topology,omitempty"`
 	// Nodes is the processor count, used when Topology is empty (and
 	// cross-checked against it otherwise). Ring hierarchies derive
 	// via the paper's Table 2 methodology; meshes must be square.
-	Nodes int
+	Nodes int `json:"nodes,omitempty"`
 	// LineBytes is the cache line size: 16, 32, 64 or 128.
-	LineBytes int
+	LineBytes int `json:"line_bytes"`
 	// BufferFlits is the router input buffer depth in flits (mesh
 	// only); the paper evaluates 1, 4 and cache-line-sized (0
 	// selects cl).
-	BufferFlits int
+	BufferFlits int `json:"buffer_flits,omitempty"`
 	// DoubleSpeedGlobal clocks the global ring at twice the PM clock
 	// (ring only; paper Section 6).
-	DoubleSpeedGlobal bool
+	DoubleSpeedGlobal bool `json:"double_speed_global,omitempty"`
 	// SlottedSwitching selects the Hector/NUMAchine slotted-ring
 	// technique instead of the paper's wormhole switching (ring only;
 	// see internal/ring/slotted.go).
-	SlottedSwitching bool
+	SlottedSwitching bool `json:"slotted_switching,omitempty"`
 	// Workload is the M-MRP attribute set.
-	Workload Workload
+	Workload Workload `json:"workload"`
 	// MemLatencyCycles is the memory service time (0 = default 10).
-	MemLatencyCycles int
+	MemLatencyCycles int `json:"mem_latency_cycles,omitempty"`
 	// Seed makes the run reproducible (same seed, same result).
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Histogram also collects the latency distribution so the result
 	// can report percentiles (small extra memory cost).
-	Histogram bool
+	Histogram bool `json:"histogram,omitempty"`
 	// Trace records per-packet lifecycle events (issue, hops, exits,
 	// delivery), retrievable via System.TraceEvents. Tracing large
 	// runs is memory-hungry; see TraceOnlyPacket to narrow it.
-	Trace bool
+	Trace bool `json:"trace,omitempty"`
 	// TraceOnlyPacket restricts tracing to one packet id (0 = all).
-	TraceOnlyPacket uint64
+	TraceOnlyPacket uint64 `json:"trace_only_packet,omitempty"`
 	// Metrics enables the instrument registry: per-link utilization,
 	// queue occupancy and stall counters, sampled every
 	// MetricsIntervalCycles and exportable via System.WriteMetricsCSV,
 	// WriteMetricsJSONL and WriteMetricsSnapshot. Disabled (the
 	// default), instrumentation costs nothing: the models hold nil
 	// counters whose methods no-op.
-	Metrics bool
+	Metrics bool `json:"metrics,omitempty"`
 	// MetricsIntervalCycles is the sampling period in PM clock cycles
 	// (0 = default 100). Only meaningful with Metrics set.
-	MetricsIntervalCycles int64
+	MetricsIntervalCycles int64 `json:"metrics_interval_cycles,omitempty"`
 	// FaultPlan schedules deterministic hardware faults, in the fault
 	// DSL: semicolon-separated events of the form
 	// "kind@start+duration:node=N[,port=P][,factor=F]" with kinds
@@ -155,12 +159,12 @@ type Config struct {
 	// PM cycles; node indices are model-specific (ring: station build
 	// order, mesh: router ids). Empty string disables fault injection
 	// entirely; an empty plan ("none") is bit-identical to disabled.
-	FaultPlan string
+	FaultPlan string `json:"fault_plan,omitempty"`
 	// UnsafeNoVC disables the ring model's virtual channels and bubble
 	// flow control (wormhole only), restoring the paper-era hierarchy
 	// deadlock. For forensics demonstrations and ablations — never for
 	// measurement runs.
-	UnsafeNoVC bool
+	UnsafeNoVC bool `json:"unsafe_no_vc,omitempty"`
 }
 
 // RingConfig describes a hierarchical-ring system.
@@ -171,34 +175,34 @@ type RingConfig struct {
 	// global ring of 2 intermediate rings, each with 3 local rings of
 	// 4 PMs) or "12" (a single 12-PM ring). Leave empty and set Nodes
 	// to pick the paper's Table 2 topology automatically.
-	Topology string
+	Topology string `json:"topology,omitempty"`
 	// Nodes is used when Topology is empty: the number of PMs for
 	// which to derive the best hierarchy.
-	Nodes int
+	Nodes int `json:"nodes,omitempty"`
 	// LineBytes is the cache line size: 16, 32, 64 or 128.
-	LineBytes int
+	LineBytes int `json:"line_bytes"`
 	// DoubleSpeedGlobal clocks the global ring at twice the PM clock
 	// (paper Section 6).
-	DoubleSpeedGlobal bool
+	DoubleSpeedGlobal bool `json:"double_speed_global,omitempty"`
 	// SlottedSwitching selects the Hector/NUMAchine slotted-ring
 	// technique instead of the paper's wormhole switching (extension;
 	// see internal/ring/slotted.go).
-	SlottedSwitching bool
+	SlottedSwitching bool `json:"slotted_switching,omitempty"`
 	// Workload is the M-MRP attribute set.
-	Workload Workload
+	Workload Workload `json:"workload"`
 	// MemLatencyCycles is the memory service time (0 = default 10).
-	MemLatencyCycles int
+	MemLatencyCycles int `json:"mem_latency_cycles,omitempty"`
 	// Seed makes the run reproducible (same seed, same result).
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Histogram also collects the latency distribution so the result
 	// can report percentiles (small extra memory cost).
-	Histogram bool
+	Histogram bool `json:"histogram,omitempty"`
 	// Trace records per-packet lifecycle events (issue, hops, exits,
 	// delivery), retrievable via System.TraceEvents. Tracing large
 	// runs is memory-hungry; see TraceOnlyPacket to narrow it.
-	Trace bool
+	Trace bool `json:"trace,omitempty"`
 	// TraceOnlyPacket restricts tracing to one packet id (0 = all).
-	TraceOnlyPacket uint64
+	TraceOnlyPacket uint64 `json:"trace_only_packet,omitempty"`
 }
 
 // generic converts to the topology-agnostic configuration.
@@ -224,26 +228,26 @@ func (cfg RingConfig) generic() Config {
 // Deprecated: use Config with Network "mesh".
 type MeshConfig struct {
 	// Nodes is the processor count; it must be a perfect square.
-	Nodes int
+	Nodes int `json:"nodes,omitempty"`
 	// LineBytes is the cache line size: 16, 32, 64 or 128.
-	LineBytes int
+	LineBytes int `json:"line_bytes"`
 	// BufferFlits is the router input buffer depth in flits; the
 	// paper evaluates 1, 4 and cache-line-sized (0 selects cl).
-	BufferFlits int
+	BufferFlits int `json:"buffer_flits,omitempty"`
 	// Workload is the M-MRP attribute set.
-	Workload Workload
+	Workload Workload `json:"workload"`
 	// MemLatencyCycles is the memory service time (0 = default 10).
-	MemLatencyCycles int
+	MemLatencyCycles int `json:"mem_latency_cycles,omitempty"`
 	// Seed makes the run reproducible.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Histogram also collects the latency distribution so the result
 	// can report percentiles (small extra memory cost).
-	Histogram bool
+	Histogram bool `json:"histogram,omitempty"`
 	// Trace records per-packet lifecycle events (issue, hops, exits,
 	// delivery), retrievable via System.TraceEvents.
-	Trace bool
+	Trace bool `json:"trace,omitempty"`
 	// TraceOnlyPacket restricts tracing to one packet id (0 = all).
-	TraceOnlyPacket uint64
+	TraceOnlyPacket uint64 `json:"trace_only_packet,omitempty"`
 }
 
 // generic converts to the topology-agnostic configuration.
@@ -265,24 +269,24 @@ func (cfg MeshConfig) generic() Config {
 // RunOptions controls the batch-means measurement schedule.
 type RunOptions struct {
 	// WarmupCycles is the discarded first batch.
-	WarmupCycles int64
+	WarmupCycles int64 `json:"warmup_cycles"`
 	// BatchCycles is the length of each retained batch.
-	BatchCycles int64
+	BatchCycles int64 `json:"batch_cycles"`
 	// Batches is the number of retained batches.
-	Batches int
+	Batches int `json:"batches"`
 	// WatchdogCycles overrides the stall-detection horizon in PM
 	// cycles (0 = default 20000): the run aborts after this many
 	// cycles without a single flit movement while packets are in
 	// flight.
-	WatchdogCycles int64
+	WatchdogCycles int64 `json:"watchdog_cycles,omitempty"`
 	// Timeout bounds the run's wall-clock time; exceeding it returns
 	// an error wrapping ErrTimeout (0 = no limit).
-	Timeout time.Duration
+	Timeout time.Duration `json:"timeout_ns,omitempty"`
 	// FailOnStall turns a watchdog trip into a returned error — which
 	// unwraps to ErrStalled and carries the diagnosis (see
 	// DiagnoseStall) — instead of the default Result.Stalled marker
 	// that lets sweeps plot saturation points.
-	FailOnStall bool
+	FailOnStall bool `json:"fail_on_stall,omitempty"`
 }
 
 // DefaultRunOptions returns the schedule used for the paper
@@ -311,38 +315,42 @@ func (o RunOptions) internal() core.RunConfig {
 type Result struct {
 	// LatencyCycles is the average round-trip access latency in PM
 	// clock cycles — the paper's primary metric.
-	LatencyCycles float64
+	LatencyCycles float64 `json:"latency_cycles"`
 	// LatencyCI95 is the 95% confidence half-width on LatencyCycles.
-	LatencyCI95 float64
+	LatencyCI95 float64 `json:"latency_ci95"`
 	// Observations is the number of completed transactions measured
 	// (after warmup).
-	Observations int64
+	Observations int64 `json:"observations"`
 	// RingUtilization is the per-level link utilization in [0,1]
 	// (index 0 = global ring, last = local rings); nil for meshes.
-	RingUtilization []float64
+	RingUtilization []float64 `json:"ring_utilization,omitempty"`
 	// MeshUtilization is the aggregate inter-router link utilization
 	// in [0,1]; zero for rings.
-	MeshUtilization float64
+	MeshUtilization float64 `json:"mesh_utilization,omitempty"`
 	// Throughput is completed transactions per cycle over the whole
 	// system.
-	Throughput float64
+	Throughput float64 `json:"throughput"`
 	// Issued, Completed and Local count transactions over the run.
-	Issued, Completed, Local int64
+	Issued    int64 `json:"issued"`
+	Completed int64 `json:"completed"`
+	Local     int64 `json:"local"`
 	// LatencyP50, LatencyP95 and LatencyMax describe the latency
 	// distribution when Histogram was requested (zero otherwise).
-	LatencyP50, LatencyP95, LatencyMax float64
+	LatencyP50 float64 `json:"latency_p50,omitempty"`
+	LatencyP95 float64 `json:"latency_p95,omitempty"`
+	LatencyMax float64 `json:"latency_max,omitempty"`
 	// BatchesCorrelated flags strong autocorrelation among batch
 	// means: lengthen BatchCycles before trusting LatencyCI95.
-	BatchesCorrelated bool
+	BatchesCorrelated bool `json:"batches_correlated,omitempty"`
 	// Saturated marks runs past the network's saturation point
 	// (processors spent most of their time blocked); the latency is
 	// then a lower bound on open-loop delay.
-	Saturated bool
+	Saturated bool `json:"saturated,omitempty"`
 	// Stalled marks runs aborted by the no-progress watchdog.
-	Stalled bool
+	Stalled bool `json:"stalled,omitempty"`
 	// Stall carries the model's forensic snapshot when Stalled is set
 	// and the model can diagnose itself; nil otherwise.
-	Stall *StallDiagnosis
+	Stall *StallDiagnosis `json:"stall,omitempty"`
 }
 
 // StallDiagnosis is the structured snapshot a model builds when the
@@ -351,17 +359,17 @@ type Result struct {
 // true deadlock) or not (livelock or starvation).
 type StallDiagnosis struct {
 	// Tick is the engine tick the watchdog tripped at.
-	Tick int64
+	Tick int64 `json:"tick"`
 	// BufferedFlits is the network's total buffered load at the stall.
-	BufferedFlits int
+	BufferedFlits int `json:"buffered_flits"`
 	// Cycles lists the wait-for cycles found, each as the node names
 	// around the loop; a non-empty list names a deadlock's culprits.
-	Cycles [][]string
+	Cycles [][]string `json:"cycles,omitempty"`
 	// ActiveFaults describes the injected faults active at the stall.
-	ActiveFaults []string
+	ActiveFaults []string `json:"active_faults,omitempty"`
 	// Summary is a compact human-readable rendering of the full
 	// report (buffers, wait-for edges, oldest stuck packets).
-	Summary string
+	Summary string `json:"summary"`
 }
 
 // ErrStalled matches (via errors.Is) any run error caused by the
@@ -419,7 +427,7 @@ func fromCore(r core.Result) Result {
 // TraceEvent is one recorded packet lifecycle step (see Config.Trace).
 type TraceEvent struct {
 	// Tick is the engine tick of the event.
-	Tick int64
+	Tick int64 `json:"tick"`
 	// Kind is "issue", "inject", "hop", "exit" or "deliver".
 	Kind string
 	// Packet is the packet id; Type its transaction kind.
@@ -632,6 +640,12 @@ func (s *System) WriteMetricsSnapshot(w io.Writer) error {
 
 // PMs returns the number of processing modules.
 func (s *System) PMs() int { return s.inner.PMs() }
+
+// TicksPerCycle returns engine ticks per PM clock cycle (2 on
+// double-speed-global configurations, else 1) — the factor for
+// converting OnCycle tick counts into PM cycles, e.g. when feeding a
+// progress gauge.
+func (s *System) TicksPerCycle() int64 { return s.inner.TicksPerCycle() }
 
 // Describe returns a one-line summary of the system.
 func (s *System) Describe() string { return s.inner.Describe() }

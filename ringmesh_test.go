@@ -3,6 +3,7 @@ package ringmesh
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -164,6 +165,36 @@ func TestSweepMeshSizes(t *testing.T) {
 	}
 	if len(pts) != 2 || pts[0].Nodes != 4 || pts[1].Nodes != 16 {
 		t.Fatalf("points = %+v", pts)
+	}
+}
+
+// TestSweepWorkersZeroIsSerial pins the documented SweepOptions
+// contract: Workers 0 (the zero value) means 1, a serial sweep — not
+// DefaultSweepOptions' parallel default — and produces exactly the
+// points a parallel sweep does. (The serial-scheduling guarantee
+// itself is pinned at the shared pool: internal/pool's
+// TestForEachZeroWorkersIsSerial.)
+func TestSweepWorkersZeroIsSerial(t *testing.T) {
+	base := Config{
+		Network:   "mesh",
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      7,
+	}
+	sizes := []int{4, 9, 16}
+	serial, err := SweepSizes(base, sizes, SweepOptions{Run: QuickRunOptions(), Workers: 0})
+	if err != nil {
+		t.Fatalf("Workers:0 sweep: %v", err)
+	}
+	parallel, err := SweepSizes(base, sizes, SweepOptions{Run: QuickRunOptions(), Workers: 3})
+	if err != nil {
+		t.Fatalf("Workers:3 sweep: %v", err)
+	}
+	if len(serial) != len(sizes) {
+		t.Fatalf("serial sweep returned %d points, want %d", len(serial), len(sizes))
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial points differ from parallel points:\n%+v\nvs\n%+v", serial, parallel)
 	}
 }
 

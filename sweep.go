@@ -10,29 +10,32 @@ import (
 	"sync"
 	"time"
 
+	"ringmesh/internal/pool"
 	"ringmesh/internal/rng"
 )
 
 // SweepPoint is one measurement of a size sweep.
 type SweepPoint struct {
 	// Nodes is the processor count of this point.
-	Nodes int
+	Nodes int `json:"nodes"`
 	// Topology is the resolved geometry in the model's notation
 	// ("2:3:4" for rings, "8x8" for meshes).
-	Topology string
+	Topology string `json:"topology"`
 	// Result holds the measurements.
-	Result Result
+	Result Result `json:"result"`
 	// Attempts is how many runs this point took (1 = first try).
 	// Retries re-run the point on a seed derived from (base seed,
 	// size, attempt), so a retried point is still reproducible.
-	Attempts int
+	Attempts int `json:"attempts"`
 }
 
 // SweepOptions controls sweep execution.
 type SweepOptions struct {
 	// Run is the per-point measurement schedule.
 	Run RunOptions
-	// Workers bounds concurrent simulations (0 = 1).
+	// Workers bounds concurrent simulations. Zero (the zero value, not
+	// DefaultSweepOptions' 4) means 1: the sweep runs serially. Values
+	// below zero behave like zero.
 	Workers int
 	// Telemetry, when non-nil, receives one JSON line per completed
 	// point as it finishes (summary latency, throughput and
@@ -172,61 +175,38 @@ func SweepMeshSizes(base MeshConfig, sizes []int, opt SweepOptions) ([]SweepPoin
 	return SweepSizes(base.generic(), sizes, opt)
 }
 
-// sweep fans the per-point function out over a bounded worker pool.
-// Every error is collected (never just the first). Fatal errors —
-// configuration mistakes and cancellation — stop new points from
-// being scheduled; runtime failures leave the rest of the sweep
-// running. Completed points are always returned, even on error.
+// sweep fans the per-point function out over the shared bounded
+// worker pool (internal/pool, also behind exp's point grids and the
+// serving daemon's job queue). Every error is collected (never just
+// the first). Fatal errors — configuration mistakes and cancellation —
+// stop new points from being scheduled; runtime failures leave the
+// rest of the sweep running. Completed points are always returned,
+// even on error.
 func sweep(ctx context.Context, sizes []int, opt SweepOptions, point func(context.Context, int) (SweepPoint, error)) ([]SweepPoint, error) {
-	workers := opt.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	sem := make(chan struct{}, workers)
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var errs []error
 	var out []SweepPoint
-	stop := false
-	for _, n := range sizes {
-		n := n
-		// Take the worker slot before consulting the stop flag, so a
-		// failure in the run that just released the slot is seen here
-		// rather than after one more point has been scheduled.
-		sem <- struct{}{}
-		mu.Lock()
-		stopped := stop
-		mu.Unlock()
-		if stopped || ctx.Err() != nil {
-			<-sem
-			break
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			p, err := point(ctx, n)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				errs = append(errs, err)
-				var fatal *fatalPointError
-				if errors.As(err, &fatal) {
-					stop = true
-				}
-				return
-			}
-			if opt.Telemetry != nil {
-				if terr := writeTelemetry(opt.Telemetry, p); terr != nil {
-					errs = append(errs, fmt.Errorf("ringmesh: telemetry: size %d: %w", n, terr))
-					stop = true
-					return
-				}
-			}
-			out = append(out, p)
-		}()
+	isFatal := func(err error) bool {
+		var fatal *fatalPointError
+		return errors.As(err, &fatal)
 	}
-	wg.Wait()
+	errs := pool.ForEach(ctx, opt.Workers, len(sizes), isFatal, func(i int) error {
+		n := sizes[i]
+		p, err := point(ctx, n)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if opt.Telemetry != nil {
+			if terr := writeTelemetry(opt.Telemetry, p); terr != nil {
+				// A broken telemetry sink poisons every later point the
+				// same way: fatal, like a configuration error.
+				return &fatalPointError{fmt.Errorf("ringmesh: telemetry: size %d: %w", n, terr)}
+			}
+		}
+		out = append(out, p)
+		return nil
+	})
 	if ctx.Err() != nil && len(errs) == 0 {
 		errs = append(errs, fmt.Errorf("ringmesh: sweep canceled: %w", ctx.Err()))
 	}
