@@ -31,12 +31,17 @@ bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkEngineStep|BenchmarkSimRing24|BenchmarkSimMesh16' -benchtime=100x .
 
 # Fail if the engine hot loop regressed >15% vs ci/bench-baseline.txt.
+# Guards both the serial dispatch path and the sharded parallel tick
+# (Workers=2 on the 8x8 mesh, one shard per row).
 bench-guard:
 	$(GO) run ./cmd/benchguard
+	$(GO) run ./cmd/benchguard -bench BenchmarkEngineStepParallel2
 
-# Re-record the hot-loop baseline (after an intentional change).
+# Re-record the hot-loop baselines (after an intentional change).
 bench-baseline:
 	$(GO) run ./cmd/benchguard -update
+	$(GO) run ./cmd/benchguard -bench BenchmarkEngineStepParallel1 -update
+	$(GO) run ./cmd/benchguard -bench BenchmarkEngineStepParallel2 -update
 
 # Boot the serving daemon, submit the same run twice, and assert the
 # second is answered from the result cache (end-to-end, over HTTP).

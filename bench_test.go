@@ -180,6 +180,42 @@ func BenchmarkEngineStepUniform(b *testing.B) {
 	}
 }
 
+// benchParallelMesh measures full-system tick throughput of the
+// 8x8 golden mesh at a fixed worker count. Workers=1 is the exact
+// serial path; the others run the sharded engine (one shard per mesh
+// row), so comparing the Parallel1/2/4/8 numbers gives the engine's
+// parallel speedup — meaningful only on a machine with that many
+// cores; on fewer cores the extra workers just measure barrier
+// overhead.
+func benchParallelMesh(b *testing.B, workers int) {
+	b.Helper()
+	cfg := Config{Network: "mesh", Topology: "8x8", LineBytes: 32,
+		BufferFlits: 4, Workload: PaperWorkload(), Seed: 1, Workers: workers}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	if workers > 1 && !sys.Parallel() {
+		b.Fatalf("Workers=%d did not engage the parallel engine", workers)
+	}
+	if err := sys.StepCycles(1000); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := sys.StepCycles(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(sys.PMs())*float64(b.N), "PMcycles/op")
+}
+
+// Flat names (no sub-benchmarks): benchguard's baseline file and the
+// CI bench-smoke regex match whole benchmark names.
+func BenchmarkEngineStepParallel1(b *testing.B) { benchParallelMesh(b, 1) }
+func BenchmarkEngineStepParallel2(b *testing.B) { benchParallelMesh(b, 2) }
+func BenchmarkEngineStepParallel4(b *testing.B) { benchParallelMesh(b, 4) }
+func BenchmarkEngineStepParallel8(b *testing.B) { benchParallelMesh(b, 8) }
+
 // BenchmarkEngineStepMixed measures the grouped multi-rate path
 // (half the components at period 2, as in a double-speed-global run).
 func BenchmarkEngineStepMixed(b *testing.B) {

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Smoke test for the serving daemon: build ringmeshd, boot it on an
-# ephemeral port, check health and metrics, submit the same run twice
-# and assert the second is answered from the result cache, then shut
-# down gracefully with SIGTERM. No dependencies beyond curl and the
-# Go toolchain.
+# Smoke test for the serving daemon: build ringmeshd, boot it with
+# per-job engine parallelism (-engine-workers), check health and
+# metrics, submit the same run twice and assert the second is answered
+# from the result cache — including a resubmission with a different
+# "workers" value, which must still hit (the cache key ignores the
+# execution-only Workers field) — then shut down gracefully with
+# SIGTERM. No dependencies beyond curl and the Go toolchain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,7 +14,7 @@ bin=$(mktemp -d)/ringmeshd
 log=$(mktemp)
 go build -o "$bin" ./cmd/ringmeshd
 
-"$bin" -addr 127.0.0.1:0 >"$log" 2>&1 &
+"$bin" -addr 127.0.0.1:0 -engine-workers 2 >"$log" 2>&1 &
 pid=$!
 cleanup() { kill "$pid" 2>/dev/null || true; }
 trap cleanup EXIT
@@ -61,6 +63,16 @@ esac
 case "$second" in
   *'"state":"done"'*) ;;
   *) echo "FAIL: cached resubmission not complete: $second"; exit 1 ;;
+esac
+
+# The same logical run spelled with an explicit engine worker count
+# must still hit the cache: "workers" is execution-only (the parallel
+# engine is bit-identical to serial) and never enters the cache key.
+wbody='{"config":{"network":"mesh","nodes":16,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":42,"workers":4},"options":{"warmup_cycles":500,"batch_cycles":500,"batches":2}}'
+third=$(curl -fsS -X POST "$base/v1/runs" -d "$wbody" | tr -d '[:space:]')
+case "$third" in
+  *'"cached":true'*) ;;
+  *) echo "FAIL: resubmission with workers=4 not served from cache: $third"; exit 1 ;;
 esac
 
 metrics=$(curl -fsS "$base/metrics")

@@ -42,8 +42,7 @@ func main() {
 	fmt.Printf("benchguard: %s = %.1f ns/op (best of %d)\n", *bench, got, *count)
 
 	if *update {
-		body := fmt.Sprintf("# Baseline ns/op recorded by cmd/benchguard -update.\n# Regenerate on the machine that runs the guard.\n%s %.1f\n", *bench, got)
-		if err := os.WriteFile(*baseline, []byte(body), 0o644); err != nil {
+		if err := writeBaseline(*baseline, *bench, got); err != nil {
 			fail(err)
 		}
 		fmt.Printf("benchguard: baseline written to %s\n", *baseline)
@@ -102,6 +101,33 @@ func parseNsPerOp(line, bench string) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// writeBaseline records one benchmark's measurement, merging with any
+// baselines already in the file: the file holds one "name value" line
+// per guarded benchmark, so re-recording one never drops the others.
+func writeBaseline(path, bench string, got float64) error {
+	var lines []string
+	if body, err := os.ReadFile(path); err == nil {
+		replaced := false
+		for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+			if f := strings.Fields(strings.TrimSpace(line)); len(f) == 2 && f[0] == bench {
+				line = fmt.Sprintf("%s %.1f", bench, got)
+				replaced = true
+			}
+			lines = append(lines, line)
+		}
+		if !replaced {
+			lines = append(lines, fmt.Sprintf("%s %.1f", bench, got))
+		}
+	} else {
+		lines = []string{
+			"# Baseline ns/op recorded by cmd/benchguard -update.",
+			"# Regenerate on the machine that runs the guard.",
+			fmt.Sprintf("%s %.1f", bench, got),
+		}
+	}
+	return os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644)
 }
 
 // readBaseline finds the benchmark's recorded ns/op in the baseline

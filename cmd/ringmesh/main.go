@@ -66,6 +66,7 @@ func main() {
 		faultPlan = flag.String("fault-plan", "", `fault plan DSL: ";"-separated events "kind@start+dur:node=N[,port=P][,factor=F]" (kinds stutter/slowdown/degrade), or "rand:events=E,seed=S,horizon=H"`)
 		timeout   = flag.Duration("timeout", 0, "wall-clock bound for the run, e.g. 30s (0 = none)")
 		noVC      = flag.Bool("unsafe-no-vc", false, "disable the ring's deadlock-avoidance virtual channels (forensics demos; wormhole ring only)")
+	workersF  = flag.Int("workers", 1, "parallel tick workers (1 = serial engine; results are bit-identical at any count)")
 
 		metricsOn  = flag.Bool("metrics", false, "collect link/queue/stall instruments and print a snapshot after the run")
 		metricsInt = flag.Int64("metrics-interval", 100, "metrics sampling period in PM cycles (with -metrics)")
@@ -76,7 +77,7 @@ func main() {
 	// Validate what the flag layer owns before constructing anything,
 	// so a typo fails in microseconds with a message naming the flag.
 	plan, err := validateFlags(*faultPlan, *timeout, *rFlag, *cFlag, *tFlag, *readP,
-		*warmup, *batch, *batches, *metricsInt)
+		*warmup, *batch, *batches, *metricsInt, *workersF)
 	if err != nil {
 		fail(exitConfig, err)
 	}
@@ -113,6 +114,7 @@ func main() {
 		Workload:        wl,
 		MemLatency:      *memLat,
 		Seed:            *seed,
+		Workers:         *workersF,
 		Tracer:          rec,
 		Metrics:         reg,
 		MetricsInterval: *metricsInt,
@@ -199,8 +201,10 @@ func main() {
 // and the fault-plan syntax — before a system is built. Topology and
 // line-size checks stay with the models, which own those rules.
 func validateFlags(faultPlan string, timeout time.Duration, r, c float64, t int,
-	readP float64, warmup, batch int64, batches int, metricsInt int64) (*fault.Plan, error) {
+	readP float64, warmup, batch int64, batches int, metricsInt int64, workers int) (*fault.Plan, error) {
 	switch {
+	case workers < 1:
+		return nil, fmt.Errorf("-workers %d < 1", workers)
 	case r < 0 || r > 1:
 		return nil, fmt.Errorf("-R %g outside [0,1]", r)
 	case c <= 0 || c > 1:

@@ -37,7 +37,8 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "total engine goroutine budget across jobs (0 = GOMAXPROCS)")
+		engineW      = flag.Int("engine-workers", 1, "parallel tick workers per job (1 = serial engine; the job pool shrinks to workers/engine-workers)")
 		queue        = flag.Int("queue", 64, "pending job bound; submissions past it get 503")
 		cacheEntries = flag.Int("cache-entries", 256, "result cache bound (LRU)")
 		rate         = flag.Float64("rate", 0, "per-client request rate limit in req/s (0 = off)")
@@ -48,20 +49,21 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*workers, *queue, *cacheEntries, *rate, *burst, *maxBody,
+	if err := validateFlags(*workers, *engineW, *queue, *cacheEntries, *rate, *burst, *maxBody,
 		*jobTimeout, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
 		os.Exit(2)
 	}
 
 	srv := serve.New(serve.Options{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
-		Rate:         *rate,
-		Burst:        *burst,
-		MaxBody:      *maxBody,
-		JobTimeout:   *jobTimeout,
+		Workers:       *workers,
+		EngineWorkers: *engineW,
+		QueueDepth:    *queue,
+		CacheEntries:  *cacheEntries,
+		Rate:          *rate,
+		Burst:         *burst,
+		MaxBody:       *maxBody,
+		JobTimeout:    *jobTimeout,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -107,11 +109,13 @@ func main() {
 }
 
 // validateFlags rejects nonsense values with messages naming the flag.
-func validateFlags(workers, queue, cacheEntries int, rate float64, burst int,
+func validateFlags(workers, engineWorkers, queue, cacheEntries int, rate float64, burst int,
 	maxBody int64, jobTimeout, drainTimeout time.Duration) error {
 	switch {
 	case workers < 0:
 		return fmt.Errorf("-workers %d < 0", workers)
+	case engineWorkers < 1:
+		return fmt.Errorf("-engine-workers %d < 1", engineWorkers)
 	case queue < 1:
 		return fmt.Errorf("-queue %d < 1", queue)
 	case cacheEntries < 1:

@@ -1,0 +1,135 @@
+package ringmesh
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// Parallel determinism tests: the sharded worker engine must be an
+// execution detail, invisible in every Result bit. Each golden
+// configuration runs at Workers 1 (the exact serial path), 2, and
+// NumCPU, and all results must be deeply equal — including the
+// order-dependent Welford statistics behind LatencyCycles and
+// LatencyCI95, which the parallel engine reproduces by draining
+// per-PM completion cells in the serial delivery order. These tests
+// are the bit-identity gate for the Workers mode and run under -race
+// in CI.
+
+// parallelWorkerCounts returns the worker counts to pin against the
+// serial result, deduplicated (NumCPU may be 1, in which case workers
+// still interleave correctness-visibly on one core).
+func parallelWorkerCounts() []int {
+	counts := []int{2, 4}
+	if n := runtime.NumCPU(); n > 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// parallelCases returns every golden configuration on a Quick
+// schedule: the pinned Default-schedule results stay covered by
+// TestGoldenResults, while the Workers sweep — several runs per case —
+// stays fast enough for -race on one core.
+func parallelCases() []goldenCase {
+	cases := goldenCases()
+	for i := range cases {
+		cases[i].opt = QuickRunOptions()
+	}
+	return cases
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, tc := range parallelCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := Run(tc.cfg, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range parallelWorkerCounts() {
+				cfg := tc.cfg
+				cfg.Workers = workers
+				sys, err := NewSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sys.Parallel() {
+					t.Fatalf("Workers=%d did not engage the parallel engine", workers)
+				}
+				got, err := sys.Run(tc.opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, serial) {
+					t.Errorf("Workers=%d diverged from serial\n got: %#v\nwant: %#v",
+						workers, got, serial)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesPinnedGoldens re-checks the two golden cases
+// whose pinned constants already use the Quick schedule directly
+// against those constants at Workers=NumCPU — closing the loop from
+// the parallel engine all the way to the captured numbers, not just
+// to a same-process serial run.
+func TestParallelMatchesPinnedGoldens(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		if tc.opt != QuickRunOptions() {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := tc.cfg
+			cfg.Workers = runtime.NumCPU() + 1 // also exercises the shard clamp
+			got, err := Run(cfg, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("parallel run diverged from pinned golden\n got: %#v\nwant: %#v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParallelFallsBackSerially pins the decline paths: Workers on a
+// model surface that cannot shard (a 1-row... no such mesh is
+// buildable, so the single-ring hierarchy), and Workers combined with
+// tracing, must run — correctly — on the serial engine.
+func TestParallelFallsBackSerially(t *testing.T) {
+	t.Parallel()
+	single := Config{
+		Network:   "ring",
+		Topology:  "8",
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      goldenSeed,
+		Workers:   4,
+	}
+	sys, err := NewSystem(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Parallel() {
+		t.Error("single-ring hierarchy has nothing to shard; want serial fallback")
+	}
+	if _, err := sys.Run(QuickRunOptions()); err != nil {
+		t.Fatal(err)
+	}
+
+	traced := goldenCases()[0].cfg
+	traced.Workers = 4
+	traced.Trace = true
+	tsys, err := NewSystem(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tsys.Parallel() {
+		t.Error("tracing is unsynchronized; want serial fallback with Workers set")
+	}
+}

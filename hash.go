@@ -73,7 +73,11 @@ type canonicalRun struct {
 //   - observation-only fields never enter the hash: Metrics, Trace
 //     and their companions cannot change a Result (golden-tested),
 //     and RunOptions.Timeout and FailOnStall only decide whether a
-//     result is returned, never its value.
+//     result is returned, never its value;
+//   - execution-only fields never enter the hash either: Workers
+//     selects the parallel engine, whose results are golden-tested
+//     bit-identical to serial at every worker count, so a cached
+//     serial result answers a parallel request and vice versa.
 //
 // The normalization is deliberately conservative: it only equates
 // spellings proven equivalent, so distinct keys for identical results

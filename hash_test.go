@@ -70,6 +70,9 @@ func TestCacheKeyEquivalentSpellings(t *testing.T) {
 			c.Trace = true
 			c.TraceOnlyPacket = 7
 		}},
+		{"workers are execution-only", func(c *Config, _ *RunOptions) {
+			c.Workers = 8
+		}},
 		{"timeout does not change the result value", func(_ *Config, o *RunOptions) {
 			o.Timeout = 1e9
 		}},

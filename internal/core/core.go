@@ -85,6 +85,14 @@ type SystemConfig struct {
 	// without scheduling anything and leaves results bit-identical to
 	// a nil plan.
 	FaultPlan *fault.Plan
+	// Workers, when > 1, runs the tick loop across a goroutine pool if
+	// the network model supports ownership partitioning (see
+	// network.Partitioner and internal/core/parallel.go). Execution-only:
+	// any worker count produces results bit-identical to Workers <= 1,
+	// so Workers never enters result cache keys. Falls back to the
+	// serial engine when the model declines to partition or a tracer is
+	// attached.
+	Workers int
 }
 
 // NewSystem builds a multiprocessor around any registered
@@ -159,6 +167,9 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if rep, ok := model.(network.StallReporter); ok {
 		engine := s.engine
 		s.engine.Diagnose = func() *sim.StallReport { return rep.BuildStallReport(engine.Now()) }
+	}
+	if err := s.applyParallel(cfg); err != nil {
+		return nil, err
 	}
 	s.wireOnCycle()
 	return s, nil
@@ -315,6 +326,11 @@ func (s *System) StepCycles(n int64) error {
 	return s.engine.Run(n * s.ticksPerCycle)
 }
 
+// Close releases the engine's worker goroutines (parallel mode; no-op
+// otherwise). Run/RunCtx already release them on return, so Close only
+// matters for callers driving the system through StepCycles.
+func (s *System) Close() { s.engine.CloseWorkers() }
+
 // RunConfig controls the batch-means run.
 type RunConfig struct {
 	// WarmupCycles is the discarded first batch, in PM cycles.
@@ -461,6 +477,10 @@ func (s *System) RunCtx(ctx context.Context, rc RunConfig) (res Result, err erro
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The worker gang (parallel mode) is recreated lazily, so releasing
+	// it after every run costs nothing on repeat runs and keeps
+	// one-shot callers (sweep points, served jobs) leak-free.
+	defer s.engine.CloseWorkers()
 	defer func() {
 		r := recover()
 		if r == nil {

@@ -1,0 +1,120 @@
+// Parallel assembly: turn a network model's ownership partition into
+// the engine's execution plan. The core layer owns what the model
+// cannot see — the PMs and the measurement collector — so it wraps
+// each model shard with the PMs the shard declared ownership of,
+// switches the collector into per-PM staging cells, and installs the
+// drain (in the partition's serial delivery order) as the plan's
+// epilogue. The serial fallbacks live here too: one worker, a model
+// without the Partitioner capability (or one that declines), or an
+// attached tracer (the trace recorder is unsynchronized) all leave the
+// engine on its exact serial path.
+package core
+
+import (
+	"fmt"
+
+	"ringmesh/internal/network"
+	"ringmesh/internal/node"
+	"ringmesh/internal/sim"
+)
+
+// coreShard pairs one model shard with the PMs it owns. The PMs commit
+// first, in phase 0 — the serial engine registers PMs before the
+// network, so within a tick every PM's commit precedes the network's —
+// gated on the PM clock period exactly like the serial schedule's
+// period groups.
+type coreShard struct {
+	pms  []*node.PM
+	tpc  int64
+	comp sim.Shard
+}
+
+// Compute implements sim.Shard.
+func (cs *coreShard) Compute(now int64) {
+	if now%cs.tpc == 0 {
+		for _, pm := range cs.pms {
+			pm.Compute(now)
+		}
+	}
+	cs.comp.Compute(now)
+}
+
+// CommitPhase implements sim.Shard.
+func (cs *coreShard) CommitPhase(phase int, now int64) int {
+	if phase == 0 && now%cs.tpc == 0 {
+		for _, pm := range cs.pms {
+			pm.Commit(now)
+		}
+	}
+	return cs.comp.CommitPhase(phase, now)
+}
+
+// applyParallel installs the parallel execution plan when cfg asks for
+// workers and the model can shard itself; otherwise it leaves the
+// engine serial. A malformed partition (PM ranges that do not tile,
+// a bad delivery order) is a model bug and fails construction rather
+// than falling back — the partition may already have rewired the
+// model's internal hand-off paths.
+func (s *System) applyParallel(cfg SystemConfig) error {
+	if cfg.Workers <= 1 || cfg.Tracer != nil {
+		return nil
+	}
+	pt, ok := s.net.(network.Partitioner)
+	if !ok {
+		return nil
+	}
+	part := pt.Partition()
+	if part == nil {
+		return nil
+	}
+	if len(part.Shards) < 2 {
+		return fmt.Errorf("core: network %q returned a %d-shard partition (must decline with nil or cut at least two shards)",
+			cfg.Network, len(part.Shards))
+	}
+	covered := make([]bool, s.pmCount)
+	shards := make([]sim.Shard, 0, len(part.Shards))
+	for _, ps := range part.Shards {
+		if ps.PMLo < 0 || ps.PMHi > s.pmCount || ps.PMLo > ps.PMHi {
+			return fmt.Errorf("core: partition shard %q owns PM range [%d,%d) outside [0,%d)",
+				ps.Name, ps.PMLo, ps.PMHi, s.pmCount)
+		}
+		for id := ps.PMLo; id < ps.PMHi; id++ {
+			if covered[id] {
+				return fmt.Errorf("core: partition shard %q claims PM %d, already owned", ps.Name, id)
+			}
+			covered[id] = true
+		}
+		shards = append(shards, &coreShard{
+			pms:  s.pms[ps.PMLo:ps.PMHi],
+			tpc:  s.ticksPerCycle,
+			comp: ps.Comp,
+		})
+	}
+	for id, c := range covered {
+		if !c {
+			return fmt.Errorf("core: partition owns no shard for PM %d", id)
+		}
+	}
+	if len(part.DeliverOrder) != s.pmCount {
+		return fmt.Errorf("core: partition delivery order lists %d PMs, want %d",
+			len(part.DeliverOrder), s.pmCount)
+	}
+	seen := make([]bool, s.pmCount)
+	for _, id := range part.DeliverOrder {
+		if id < 0 || id >= s.pmCount || seen[id] {
+			return fmt.Errorf("core: partition delivery order is not a permutation of [0,%d)", s.pmCount)
+		}
+		seen[id] = true
+	}
+
+	s.col.ShardByPM(s.pmCount)
+	col, order := s.col, part.DeliverOrder
+	s.engine.SetParallel(&sim.ParallelPlan{
+		Workers:      cfg.Workers,
+		Shards:       shards,
+		CommitPhases: part.CommitPhases,
+		Prologue:     part.Prologue,
+		Epilogue:     func(now int64) { col.DrainCells(order) },
+	})
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"ringmesh/internal/core"
@@ -65,6 +66,13 @@ type Spec struct {
 	Run core.RunConfig
 	// Workers bounds concurrent simulations (0 = 1).
 	Workers int
+	// EngineWorkers is each simulation's parallel tick worker count
+	// (0 or 1 = the exact serial engine). It is capped so
+	// Workers x EngineWorkers never exceeds the machine's CPUs —
+	// point-level and engine-level parallelism share one budget.
+	// Results are identical at any value: the parallel engine is
+	// golden-tested bit-identical to serial.
+	EngineWorkers int
 }
 
 // DefaultSpec returns the paper-fidelity schedule.
@@ -203,6 +211,7 @@ func netBuilder(spec Spec, name string, net network.Config, wl workload.MMRP, me
 			Workload:   wl,
 			MemLatency: memLat,
 			Seed:       spec.Seed,
+			Workers:    pool.CapInner(runtime.NumCPU(), spec.Workers, spec.EngineWorkers),
 		})
 	}
 }

@@ -236,7 +236,7 @@ func (n *Network) computeRouter(r *router, now int64) {
 func (n *Network) Commit(now int64) {
 	moved := 0
 	for _, r := range n.routers {
-		moved += n.commitRouter(r, now)
+		moved += n.commitRouter(r, now, nil)
 	}
 	if moved > 0 {
 		n.engine.ProgressN(moved)
@@ -244,8 +244,12 @@ func (n *Network) Commit(now int64) {
 }
 
 // commitRouter applies one router's staged transfers and returns the
-// number of flit movements (crossbar transfers plus injections).
-func (n *Network) commitRouter(r *router, now int64) (moved int) {
+// number of flit movements (crossbar transfers plus injections). sh is
+// nil on the serial path; under the parallel partition it is the
+// committing row shard, and pushes into a router another shard owns
+// are staged in the shard's outbox instead of performed (see
+// partition.go) — everything else is byte-for-byte the serial commit.
+func (n *Network) commitRouter(r *router, now int64, sh *rowShard) (moved int) {
 	spec := n.cfg.Spec
 	for o := topo.Direction(0); o < topo.NumPorts; o++ {
 		if o != topo.Local && spec.Neighbor(r.id, o) >= 0 {
@@ -288,7 +292,12 @@ func (n *Network) commitRouter(r *router, now int64) (moved int) {
 				n.tracer.Record(now, trace.Hop, mv.f.Pkt,
 					fmt.Sprintf("router%d %s", r.id, o))
 			}
-			n.routers[nb].inputs[o.Opposite()].Push(mv.f)
+			dst := n.routers[nb].inputs[o.Opposite()]
+			if sh != nil && !sh.owns(nb) {
+				sh.outbox = append(sh.outbox, deferredPush{fifo: dst, f: mv.f})
+			} else {
+				dst.Push(mv.f)
+			}
 			r.linkUtil[o].Busy(1)
 		}
 		moved++

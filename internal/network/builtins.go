@@ -26,8 +26,9 @@ func init() {
 // models: everything Model requires except the stats snapshot, plus
 // the per-level utilization the snapshot is built from and the
 // optional capabilities (invariant checking, fault injection, stall
-// forensics) both built-ins implement. Embedding the interface makes
-// the wrapper advertise the capabilities too.
+// forensics, parallel partitioning) both built-ins implement.
+// Embedding the interface makes the wrapper advertise the
+// capabilities too.
 type hierNet interface {
 	sim.Component
 	BufferedFlits() int
@@ -37,6 +38,7 @@ type hierNet interface {
 	BuildStallReport(now int64) *sim.StallReport
 	SetTracer(*trace.Recorder)
 	DescribeMetrics(*metrics.Registry)
+	Partition() *sim.Partition
 	UtilizationByLevel() []float64
 }
 
@@ -57,6 +59,7 @@ type flatNet interface {
 	BuildStallReport(now int64) *sim.StallReport
 	SetTracer(*trace.Recorder)
 	DescribeMetrics(*metrics.Registry)
+	Partition() *sim.Partition
 	Utilization() float64
 }
 

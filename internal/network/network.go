@@ -141,6 +141,26 @@ type FaultInjector interface {
 	ApplyFaultPlan(p *fault.Plan) error
 }
 
+// Partitioner is the optional parallel-execution capability: a model
+// that can cut itself into ownership shards — groups of components
+// such that no two shards commit to the same buffers (per-ring for the
+// hierarchies, per-row for the mesh) — describes the cut as a
+// sim.Partition, and the assembly layer runs the shards across the
+// engine's worker gang. Partitions must be observation-equivalent:
+// executing a model's partition at any worker count yields results
+// bit-identical to the serial schedule (the golden fixed-seed tests
+// pin this). A model may return nil to decline for a configuration it
+// cannot shard; callers then stay on the serial path. A non-nil
+// partition must hold at least two shards, and may rewire internal
+// hand-off paths for sharded commit — so callers that receive one
+// must drive the model through its shards, not the serial Commit.
+type Partitioner interface {
+	// Partition describes the model's ownership sharding, or nil.
+	// Called once, after construction and any fault-plan installation,
+	// before the first tick.
+	Partition() *sim.Partition
+}
+
 // StallReporter is the optional forensics capability: a model that
 // can explain a stall builds a structured snapshot of its blocked
 // state when the engine watchdog trips (wired to sim.Engine.Diagnose

@@ -65,6 +65,28 @@ type Collector struct {
 
 	inFlight int64
 	nextID   uint64
+
+	// cells, when non-nil, switches the collector into sharded mode
+	// for the parallel engine: every PM stages its measurement events
+	// into a private per-PM cell instead of the shared fields above,
+	// and DrainCells folds them back once per tick from the engine's
+	// serial epilogue. Serial runs never allocate cells, so their
+	// arithmetic is untouched.
+	cells []cell
+}
+
+// cell is one PM's measurement staging slot in sharded mode. The
+// integer counters are commutative deltas; lat holds the tick's
+// completion latencies (at most one per tick in every built-in model:
+// a PM receives at most one packet tail per tick), which must be
+// folded into the order-dependent accumulators in serial delivery
+// order.
+type cell struct {
+	issued, completed, local int64
+	reads, writes            int64
+	inFlight                 int64
+	nextID                   uint64
+	lat                      []int64
 }
 
 // NewCollector returns a collector using batch means that discard the
@@ -104,10 +126,60 @@ func (c *Collector) issued(read bool) {
 func (c *Collector) completed(latencyTicks int64) {
 	c.Completed++
 	c.inFlight--
+	c.observe(latencyTicks)
+}
+
+// observe feeds one completion latency (in ticks) to the accumulators.
+func (c *Collector) observe(latencyTicks int64) {
 	cycles := float64(latencyTicks) / float64(c.TicksPerCycle)
 	c.Latency.Add(cycles)
 	if c.Hist != nil {
 		c.Hist.Add(cycles)
+	}
+}
+
+// ShardByPM switches the collector into sharded mode for n PMs (see
+// the cells field). Call before the first tick; the parallel engine's
+// epilogue must then call DrainCells every tick.
+func (c *Collector) ShardByPM(n int) {
+	c.cells = make([]cell, n)
+	for i := range c.cells {
+		c.cells[i].lat = make([]int64, 0, 2)
+	}
+}
+
+// Sharded reports whether ShardByPM was called.
+func (c *Collector) Sharded() bool { return c.cells != nil }
+
+// DrainCells folds the per-PM cells into the shared aggregates. order
+// lists PM ids in the order the serial engine observes same-tick
+// completions, so the order-dependent Welford accumulation behind
+// Latency and Hist reproduces the serial arithmetic bit for bit; the
+// integer counters are commutative and fold in index order. Runs once
+// per tick on the parallel engine's serial epilogue (worker 0, after
+// the last commit barrier), which also makes InFlight safe for the
+// watchdog that runs right after.
+func (c *Collector) DrainCells(order []int) {
+	for _, id := range order {
+		cl := &c.cells[id]
+		if len(cl.lat) == 0 {
+			continue
+		}
+		for _, lt := range cl.lat {
+			c.observe(lt)
+		}
+		cl.lat = cl.lat[:0]
+	}
+	for i := range c.cells {
+		cl := &c.cells[i]
+		c.Issued += cl.issued
+		c.Completed += cl.completed
+		c.Local += cl.local
+		c.Reads += cl.reads
+		c.Writes += cl.writes
+		c.inFlight += cl.inFlight
+		cl.issued, cl.completed, cl.local = 0, 0, 0
+		cl.reads, cl.writes, cl.inFlight = 0, 0, 0
 	}
 }
 
@@ -203,6 +275,57 @@ func NewPM(id int, cfg Config, col *Collector) (*PM, error) {
 	return pm, nil
 }
 
+// The noteX helpers route the PM's measurement events either to the
+// shared collector fields (serial mode) or to the PM's private cell
+// (sharded mode, where the shared fields must not be written
+// concurrently). Sharded packet ids carry the PM id in the high bits
+// so per-PM sequences never collide; ids are observation-only (trace
+// and forensics labels), so the different numbering cannot affect
+// simulation results.
+
+func (pm *PM) allocID() uint64 {
+	if pm.col.cells != nil {
+		cl := &pm.col.cells[pm.ID]
+		cl.nextID++
+		return uint64(pm.ID+1)<<40 | cl.nextID
+	}
+	return pm.col.allocID()
+}
+
+func (pm *PM) noteIssued(read bool) {
+	if pm.col.cells != nil {
+		cl := &pm.col.cells[pm.ID]
+		cl.issued++
+		cl.inFlight++
+		if read {
+			cl.reads++
+		} else {
+			cl.writes++
+		}
+		return
+	}
+	pm.col.issued(read)
+}
+
+func (pm *PM) noteLocal() {
+	if pm.col.cells != nil {
+		pm.col.cells[pm.ID].local++
+		return
+	}
+	pm.col.Local++
+}
+
+func (pm *PM) noteCompleted(latencyTicks int64) {
+	if pm.col.cells != nil {
+		cl := &pm.col.cells[pm.ID]
+		cl.completed++
+		cl.inFlight--
+		cl.lat = append(cl.lat, latencyTicks)
+		return
+	}
+	pm.col.completed(latencyTicks)
+}
+
 // sampleGap draws the cycles until the next miss.
 func (pm *PM) sampleGap() int {
 	if pm.cfg.Workload.Deterministic {
@@ -232,7 +355,7 @@ func (pm *PM) stepMemory(now int64) {
 		req := pm.memServing
 		pm.memServing = nil
 		resp := &packet.Packet{
-			ID:    pm.col.allocID(),
+			ID:    pm.allocID(),
 			Type:  packet.ResponseFor(req.Type),
 			Src:   pm.ID,
 			Dst:   req.Src,
@@ -282,7 +405,7 @@ func (pm *PM) issueMiss(genTime int64) {
 		// Local access: satisfied by the local memory without the
 		// network (paper Section 2). Not counted in round-trip
 		// latency and does not occupy an outstanding slot.
-		pm.col.Local++
+		pm.noteLocal()
 		return
 	}
 	read := pm.rnd.Bernoulli(pm.cfg.Workload.ReadProb)
@@ -291,7 +414,7 @@ func (pm *PM) issueMiss(genTime int64) {
 		typ = packet.WriteRequest
 	}
 	req := &packet.Packet{
-		ID:    pm.col.allocID(),
+		ID:    pm.allocID(),
 		Type:  typ,
 		Src:   pm.ID,
 		Dst:   dst,
@@ -301,7 +424,7 @@ func (pm *PM) issueMiss(genTime int64) {
 	pm.cfg.Tracer.Record(genTime, trace.Issue, req, fmt.Sprintf("pm%d", pm.ID))
 	pm.pendingReq = append(pm.pendingReq, req)
 	pm.outstanding++
-	pm.col.issued(read)
+	pm.noteIssued(read)
 }
 
 // Deliver implements Deliverer.
@@ -315,7 +438,7 @@ func (pm *PM) Deliver(p *packet.Packet, now int64) {
 		if pm.outstanding < 0 {
 			panic(fmt.Sprintf("node: PM %d outstanding underflow", pm.ID))
 		}
-		pm.col.completed(now - p.Issue)
+		pm.noteCompleted(now - p.Issue)
 		return
 	}
 	pm.memQ = append(pm.memQ, p)

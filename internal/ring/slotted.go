@@ -233,10 +233,6 @@ type SlottedNetwork struct {
 
 	// faults is the installed fault schedule; nil for fault-free runs.
 	faults *fault.Driver
-
-	// moved accumulates the commit phase's progress events so they can
-	// be reported to the engine in one batched ProgressN call.
-	moved int
 }
 
 // SetTracer attaches an optional lifecycle recorder (nil-safe).
@@ -363,22 +359,21 @@ func (n *SlottedNetwork) buildRing(level, base int, pms []PMPort, parentLower *s
 // timing).
 func (n *SlottedNetwork) Compute(now int64) {}
 
-// Commit implements sim.Component. Progress is accumulated in
-// n.moved by the slot/injection helpers and reported to the engine
+// Commit implements sim.Component. Progress is reported to the engine
 // once per commit (batched).
 func (n *SlottedNetwork) Commit(now int64) {
 	if n.faults != nil {
 		n.faults.Step(now)
 	}
-	n.moved = 0
+	moved := 0
 	for _, r := range n.rings {
 		if now%r.slotPeriod != 0 {
 			continue
 		}
-		n.stepRing(r, now)
+		moved += n.stepRing(r, now)
 	}
-	if n.moved > 0 {
-		n.engine.ProgressN(n.moved)
+	if moved > 0 {
+		n.engine.ProgressN(moved)
 	}
 	for _, nc := range n.nics {
 		if now%nc.period == 0 {
@@ -388,8 +383,11 @@ func (n *SlottedNetwork) Commit(now int64) {
 }
 
 // stepRing advances one ring by one slot position and lets every
-// station process the slot now in front of it.
-func (n *SlottedNetwork) stepRing(r *sring, now int64) {
+// station process the slot now in front of it. It returns the number
+// of progress events (extractions and injections) — a return value
+// rather than a shared accumulator so ring shards can step
+// concurrently under the parallel engine.
+func (n *SlottedNetwork) stepRing(r *sring, now int64) (moved int) {
 	r.headPos = (r.headPos - 1 + len(r.slots)) % len(r.slots)
 	for i, st := range r.stations {
 		st.util.Tick(1)
@@ -405,11 +403,14 @@ func (n *SlottedNetwork) stepRing(r *sring, now int64) {
 		}
 		busy := slot.pkt != nil
 		injected := false
-		if slot.pkt != nil {
-			n.processOccupied(r, st, slot, now)
+		if slot.pkt != nil && n.processOccupied(r, st, slot, now) {
+			moved++
 		}
 		if slot.pkt == nil {
 			injected = n.tryInject(r, st, slot, now)
+			if injected {
+				moved++
+			}
 			busy = busy || injected
 		}
 		if st.stall != nil && !injected && st.hasReady(now) {
@@ -419,30 +420,32 @@ func (n *SlottedNetwork) stepRing(r *sring, now int64) {
 			st.util.Busy(1)
 		}
 	}
+	return moved
 }
 
 // processOccupied copies the passing packet out when this is its exit
-// station and the exit has room; otherwise it keeps circulating.
-func (n *SlottedNetwork) processOccupied(r *sring, st *sstation, slot *sslot, now int64) {
+// station and the exit has room; otherwise it keeps circulating. It
+// reports whether the packet was extracted.
+func (n *SlottedNetwork) processOccupied(r *sring, st *sstation, slot *sslot, now int64) bool {
 	p := slot.pkt
 	if st.exits == nil || !st.exits(p.Dst) {
-		return
+		return false
 	}
 	if st.exitPM != nil {
 		slot.pkt = nil
 		r.occupied--
 		st.exitPM(p, now)
-		n.moved++
-		return
+		return true
 	}
 	// Store-and-forward: injectable on the next ring from the next
-	// tick.
+	// tick. Queue full means NACK — the packet rides on and retries
+	// next lap.
 	if st.exitQueueFor(p).push(p, now+1) {
 		slot.pkt = nil
 		r.occupied--
-		n.moved++
+		return true
 	}
-	// Queue full: NACK — the packet rides on and retries next lap.
+	return false
 }
 
 // tryInject fills an empty slot with a whole waiting packet
@@ -457,7 +460,6 @@ func (n *SlottedNetwork) tryInject(r *sring, st *sstation, slot *sslot, now int6
 		slot.pkt = head
 		r.occupied++
 		n.tracer.Record(now, trace.Inject, head, st.name)
-		n.moved++
 		return true
 	}
 	return false

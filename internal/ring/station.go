@@ -475,6 +475,13 @@ func (k *pmSink) accept(f packet.Flit, now int64) {
 // of bounded FIFOs (an IRI's up or down buffer).
 type queueSink struct {
 	resp, req *packet.FIFO
+
+	// outbox, when non-nil (a parallel partition is installed; see
+	// partition.go), receives accepted flits as deferred pushes applied
+	// in the cross-ring commit phase instead of being pushed live —
+	// these FIFOs are the only state shared between ring shards. Serial
+	// runs never set it, keeping the direct push path.
+	outbox *[]deferredPush
 }
 
 func (k *queueSink) pick(p *packet.Packet) *packet.FIFO {
@@ -489,5 +496,10 @@ func (k *queueSink) spaceFor(f packet.Flit) bool {
 }
 
 func (k *queueSink) accept(f packet.Flit, now int64) {
-	k.pick(f.Pkt).Push(f)
+	q := k.pick(f.Pkt)
+	if k.outbox != nil {
+		*k.outbox = append(*k.outbox, deferredPush{fifo: q, f: f})
+		return
+	}
+	q.Push(f)
 }

@@ -23,8 +23,17 @@ const jobRetain = 1024
 // Options configures a Server. The zero value selects the defaults
 // noted per field.
 type Options struct {
-	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	// Workers is the CPU budget: the bound on total engine goroutines
+	// across all in-flight jobs (default GOMAXPROCS).
 	Workers int
+	// EngineWorkers is each job's parallel tick worker count (default
+	// 1 = the exact serial engine; capped at Workers). The job-level
+	// pool shrinks to Workers/EngineWorkers, so splitting the budget
+	// between concurrent jobs and per-job parallelism never
+	// oversubscribes it. Results are identical either way — the
+	// parallel engine is golden-tested bit-identical to serial, which
+	// is also why Workers never enters a job's cache key.
+	EngineWorkers int
 	// QueueDepth bounds pending jobs; submissions past it are rejected
 	// with 503 (default 64).
 	QueueDepth int
@@ -86,6 +95,12 @@ func New(opt Options) *Server {
 	if opt.Workers < 1 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
+	if opt.EngineWorkers < 1 {
+		opt.EngineWorkers = 1
+	}
+	if opt.EngineWorkers > opt.Workers {
+		opt.EngineWorkers = opt.Workers
+	}
 	if opt.QueueDepth < 1 {
 		opt.QueueDepth = 64
 	}
@@ -122,8 +137,16 @@ func New(opt Options) *Server {
 	reg.Gauge("ringmeshd_queue_depth", metrics.Labels{}, func() float64 {
 		return float64(len(s.queue))
 	})
-	s.wait = pool.Workers(opt.Workers, s.queue, s.execute)
+	// Split the CPU budget: jobWorkers concurrent jobs, each running
+	// EngineWorkers engine goroutines, stay within opt.Workers total.
+	s.wait = pool.Workers(s.jobWorkers(), s.queue, s.execute)
 	return s
+}
+
+// jobWorkers is the job-level pool size after the per-job engine
+// parallelism takes its share of the Workers budget.
+func (s *Server) jobWorkers() int {
+	return max(1, s.opt.Workers/s.opt.EngineWorkers)
 }
 
 // Registry returns the server's instrument registry (the one exported
@@ -298,6 +321,14 @@ func (s *Server) executeSweep(ctx context.Context, j *job) error {
 // progress atomics are wired to the engine's per-cycle hook so
 // watchers see live completion fractions.
 func (s *Server) simulate(ctx context.Context, j *job, cfg ringmesh.Config, opt ringmesh.RunOptions) (ringmesh.Result, error) {
+	// The server owns the machine split, not the client: a request's
+	// own workers value is capped at the per-job budget (and an unset
+	// one takes the full budget). Sound to override freely — Workers is
+	// execution-only, excluded from the cache key, and the parallel
+	// engine is bit-identical to serial.
+	if cfg.Workers == 0 || cfg.Workers > s.opt.EngineWorkers {
+		cfg.Workers = s.opt.EngineWorkers
+	}
 	sys, err := ringmesh.NewSystem(cfg)
 	if err != nil {
 		return ringmesh.Result{}, &configError{err}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+)
+
+// TestJobWorkersSplitsBudget pins the pool split: the job-level pool
+// shrinks so jobWorkers x EngineWorkers never exceeds the Workers
+// budget, and degenerate options normalize rather than explode.
+func TestJobWorkersSplitsBudget(t *testing.T) {
+	cases := []struct {
+		name            string
+		workers, engine int
+		wantJobs        int
+	}{
+		{"serial default", 4, 0, 4},
+		{"even split", 8, 2, 4},
+		{"whole budget to one job", 4, 4, 1},
+		{"engine demand past the budget clamps", 2, 16, 1},
+		{"uneven split rounds down", 5, 2, 2},
+		{"single worker", 1, 3, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Options{Workers: tc.workers, EngineWorkers: tc.engine})
+			defer func() { _ = s.Drain(context.Background()) }()
+			if got := s.jobWorkers(); got != tc.wantJobs {
+				t.Errorf("Workers=%d EngineWorkers=%d: jobWorkers = %d, want %d",
+					tc.workers, tc.engine, got, tc.wantJobs)
+			}
+			if tot := s.jobWorkers() * s.opt.EngineWorkers; tot > max(1, tc.workers) {
+				t.Errorf("split oversubscribes: %d job x %d engine > %d budget",
+					s.jobWorkers(), s.opt.EngineWorkers, tc.workers)
+			}
+		})
+	}
+}
+
+// TestWorkersFieldDoesNotSplitCache pins the serving-side half of the
+// execution-only contract: the same logical run submitted with
+// different (client-chosen) workers values is one cache entry, and the
+// cached result is byte-identical — the parallel engine cannot be
+// observed through the API.
+func TestWorkersFieldDoesNotSplitCache(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, EngineWorkers: 2})
+
+	cfg := testConfig()
+	cfg.Workers = 4 // capped to the server's per-job budget
+	resp, raw := postJSON(t, ts.URL+"/v1/runs", runRequest{Config: cfg, Options: testOptions()})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST = %d: %s", resp.StatusCode, raw)
+	}
+	first := awaitJob(t, ts.URL, decodeDoc(t, raw).ID, false)
+	if first.Cached {
+		t.Fatal("first run reported cached")
+	}
+
+	cfg.Workers = 0 // a different spelling of the same run
+	resp, raw = postJSON(t, ts.URL+"/v1/runs", runRequest{Config: cfg, Options: testOptions()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-submission with different workers = %d: %s", resp.StatusCode, raw)
+	}
+	second := decodeDoc(t, raw)
+	if second.State != JobDone || !second.Cached {
+		t.Fatalf("re-submission = state %s cached %v; want done, cached", second.State, second.Cached)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatalf("cached result differs across workers values:\n%s\nvs\n%s", first.Result, second.Result)
+	}
+}

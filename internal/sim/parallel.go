@@ -1,0 +1,266 @@
+// Parallel tick execution: the engine's Workers mode.
+//
+// The serial engine already has the structure that makes parallel
+// execution deterministic — every tick is a Compute phase that reads
+// only start-of-tick state, then a Commit phase that applies staged
+// decisions. The parallel mode adds one requirement: *ownership*. A
+// model is cut into shards such that no two shards commit to the same
+// buffers; each shard's Compute and Commit then run on a worker
+// goroutine, with a barrier between phases. Writes that would cross a
+// shard boundary (a flit pushed into a queue another shard owns) are
+// not performed in the owning commit phase — the model stages them in
+// a per-shard outbox and applies them in a later commit phase, again
+// separated by a barrier, so no buffer is ever touched by two workers
+// without an intervening synchronization. Because every decision was
+// staged from frozen start-of-tick state, deferring a push never
+// changes what any component observed, and the end-of-tick state is
+// bit-identical to the serial schedule.
+//
+// All order-sensitive work — fault injection, statistics that use
+// order-dependent floating-point accumulation, the progress watchdog,
+// the per-cycle hook — runs in serial sections on worker 0 (the
+// Prologue before Compute and the engine epilogue after the last
+// commit phase), so a parallel run reproduces the serial run's
+// arithmetic exactly, not just its final buffer states.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ringmesh/internal/pool"
+)
+
+// Shard is one ownership partition of a parallel model: a group of
+// components that commit only to buffers this shard owns. The engine
+// runs shards concurrently, so a Shard's methods must touch foreign
+// state only as the phase discipline allows: Compute may read anything
+// (all state is frozen during the compute phase) but write only shard-
+// local state; CommitPhase may write only shard-owned buffers.
+type Shard interface {
+	// Compute stages the shard's transfer decisions for this tick from
+	// start-of-tick state.
+	Compute(now int64)
+	// CommitPhase applies the shard's staged transfers for one commit
+	// phase and reports the number of progress events (flit movements)
+	// — the per-shard replacement for Engine.Progress/ProgressN, which
+	// must not be called from inside a shard. Phases are globally
+	// barrier-separated: phase p+1 starts only after every shard
+	// finished phase p.
+	CommitPhase(phase int, now int64) int
+}
+
+// PartitionShard describes one shard of a model's Partition: the
+// engine-facing Shard plus the half-open range [PMLo, PMHi) of
+// processing-module ids whose state the shard owns (PMLo == PMHi for
+// shards that own none, e.g. a hierarchy's internal rings).
+type PartitionShard struct {
+	Name       string
+	PMLo, PMHi int
+	Comp       Shard
+}
+
+// Partition is a model's description of its ownership sharding, the
+// payload of the network layer's Partitioner capability. The PM ranges
+// of all shards must tile [0, nPMs) without overlap.
+type Partition struct {
+	// Shards lists the ownership shards. Within a shard, components
+	// commit in their serial order; across shards the engine imposes no
+	// order, which is sound exactly because shards share no buffers.
+	Shards []PartitionShard
+	// CommitPhases is how many barrier-separated commit phases the
+	// model needs (at least 1). Extra phases serialize cross-shard
+	// hand-offs: deferred outbox pushes, or level-ordered commits in a
+	// hierarchy.
+	CommitPhases int
+	// DeliverOrder lists every PM id in the order in which same-tick
+	// packet completions are observed by the serial engine. The
+	// measurement layer drains per-PM completion staging in this order,
+	// reproducing the serial path's order-dependent accumulator
+	// arithmetic bit for bit.
+	DeliverOrder []int
+	// Prologue, when non-nil, runs serially on worker 0 before each
+	// tick's Compute phase (fault injection steps here: the fault
+	// driver is a serial cursor walk the shards must not race on).
+	Prologue func(now int64)
+}
+
+// ParallelPlan is the engine-level execution plan assembled from a
+// model's Partition (the core layer wraps PM ownership and the
+// measurement epilogue around the model's shards).
+type ParallelPlan struct {
+	// Workers is the goroutine count; it is clamped to the shard count.
+	Workers int
+	// Shards run concurrently, block-partitioned over the workers.
+	Shards []Shard
+	// CommitPhases is the number of barrier-separated commit phases.
+	CommitPhases int
+	// Prologue, when non-nil, runs serially on worker 0 before Compute.
+	Prologue func(now int64)
+	// Epilogue, when non-nil, runs serially on worker 0 after the last
+	// commit phase and before the engine's own end-of-tick bookkeeping
+	// (progress fold, OnCycle, watchdog). The measurement drain — the
+	// order-sensitive statistics work — happens here.
+	Epilogue func(now int64)
+}
+
+// SetParallel installs a parallel execution plan: subsequent Run calls
+// execute the plan's shards across a worker gang instead of the
+// registered components. Degenerate plans (nil, one worker, fewer than
+// two shards) clear the plan, keeping the exact serial path. The
+// registered components are untouched either way — a cleared plan
+// falls back to them bit for bit.
+func (e *Engine) SetParallel(p *ParallelPlan) {
+	e.CloseWorkers()
+	if p == nil || p.Workers <= 1 || len(p.Shards) <= 1 {
+		e.plan = nil
+		e.shardMoved = nil
+		return
+	}
+	if p.CommitPhases < 1 {
+		p.CommitPhases = 1
+	}
+	if p.Workers > len(p.Shards) {
+		p.Workers = len(p.Shards)
+	}
+	e.plan = p
+	e.shardMoved = make([]int64, len(p.Shards))
+}
+
+// Parallel reports whether a parallel plan is installed.
+func (e *Engine) Parallel() bool { return e.plan != nil }
+
+// CloseWorkers releases the engine's worker gang, if one was started.
+// The gang is recreated lazily on the next parallel Run, so this is
+// safe to call between runs; callers that drive many runs through one
+// engine should close once at the end (core's runner does).
+func (e *Engine) CloseWorkers() {
+	if e.gang != nil {
+		e.gang.Close()
+		e.gang = nil
+	}
+}
+
+// shardRange block-partitions the plan's shards over workers: worker w
+// owns shards [w*n/W, (w+1)*n/W). Static assignment keeps the schedule
+// deterministic and allocation-free.
+func (e *Engine) shardRange(w int) (lo, hi int) {
+	n := len(e.plan.Shards)
+	return w * n / e.plan.Workers, (w + 1) * n / e.plan.Workers
+}
+
+// runParallel advances the simulation by ticks ticks on the worker
+// gang. The whole tick loop runs inside one gang dispatch; per tick
+// the workers cross 2+CommitPhases barriers:
+//
+//	worker 0: prologue (fault step) — or raise stop
+//	barrier   ── all: Compute own shards
+//	barrier   ── all: CommitPhase 0 own shards
+//	barrier   ── … one barrier per commit phase …
+//	worker 0: epilogue (measurement drain), progress fold, OnCycle,
+//	          watchdog — then loop
+//
+// A panic on any worker is captured (first one wins), the gang winds
+// down in lockstep, and the panic is re-raised on the caller's
+// goroutine so the usual recovery path sees it unchanged.
+func (e *Engine) runParallel(ticks int64) error {
+	p := e.plan
+	if e.gang == nil {
+		e.gang = pool.NewGang(p.Workers)
+	}
+	end := e.now + ticks
+	var (
+		stop      atomic.Bool
+		abort     atomic.Bool
+		panicOnce sync.Once
+		panicked  any
+		runErr    error
+	)
+	seg := func(f func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicked = r })
+				abort.Store(true)
+			}
+		}()
+		f()
+	}
+	e.gang.Run(func(w int) {
+		lo, hi := e.shardRange(w)
+		for {
+			if w == 0 {
+				if abort.Load() || runErr != nil || e.now >= end {
+					stop.Store(true)
+				} else if p.Prologue != nil {
+					seg(func() { p.Prologue(e.now) })
+				}
+			}
+			e.gang.Sync()
+			if stop.Load() {
+				return
+			}
+			now := e.now
+			seg(func() {
+				for i := lo; i < hi; i++ {
+					p.Shards[i].Compute(now)
+				}
+			})
+			e.gang.Sync()
+			for ph := 0; ph < p.CommitPhases; ph++ {
+				seg(func() {
+					for i := lo; i < hi; i++ {
+						e.shardMoved[i] += int64(p.Shards[i].CommitPhase(ph, now))
+					}
+				})
+				e.gang.Sync()
+			}
+			if w == 0 && !abort.Load() {
+				seg(func() { runErr = e.finishTick(now) })
+			}
+		}
+	})
+	if panicked != nil {
+		panic(panicked)
+	}
+	return runErr
+}
+
+// finishTick is the serial end-of-tick section of the parallel loop,
+// run by worker 0 while the other workers wait at the loop-head
+// barrier: fold the per-shard progress counters, drain the plan's
+// epilogue (order-sensitive measurement), then do exactly what the
+// serial Step/Run pair does — progress bookkeeping, the tick
+// increment, the per-cycle hook, and the stall watchdog.
+func (e *Engine) finishTick(now int64) error {
+	var moved uint64
+	for i := range e.shardMoved {
+		moved += uint64(e.shardMoved[i])
+		e.shardMoved[i] = 0
+	}
+	e.progress += moved
+	if e.plan.Epilogue != nil {
+		e.plan.Epilogue(now)
+	}
+	if e.progress != e.lastProgress {
+		e.lastProgress = e.progress
+		e.lastMoveTick = now
+	}
+	e.now++
+	if e.OnCycle != nil {
+		e.OnCycle(now, moved)
+	}
+	if e.WatchdogTicks > 0 && e.now-e.lastMoveTick > e.WatchdogTicks {
+		if e.InFlight == nil || e.InFlight() {
+			if rep := e.diagnose(); rep != nil {
+				rep.Tick = e.now
+				return &StallError{Tick: e.now, Report: rep}
+			}
+			return fmt.Errorf("%w at tick %d", ErrStalled, e.now)
+		}
+		// Idle (no packets anywhere) is fine; reset the clock so we
+		// don't re-check every tick.
+		e.lastMoveTick = e.now
+	}
+	return nil
+}

@@ -20,10 +20,24 @@
 // period 1, which is every non-double-speed configuration).
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"ringmesh/internal/pool"
+)
 
 // Component is one synchronously clocked piece of the system (a
 // network, a set of processing modules).
+//
+// Concurrency contract: under the engine's parallel mode (see
+// SetParallel) components are grouped into ownership shards that run
+// on different goroutines. Compute may therefore read any state — the
+// whole system is frozen during the compute phase — but must not
+// mutate anything visible outside its own shard; Commit may mutate
+// only buffers its shard owns, staging any cross-shard hand-off for a
+// later, barrier-separated commit phase. The serial engine is the
+// degenerate single-shard case of the same contract, which is why the
+// two schedules produce bit-identical results.
 type Component interface {
 	// Compute stages this tick's transfers using only start-of-tick
 	// state. It must not mutate state visible to other components.
@@ -78,6 +92,15 @@ type Engine struct {
 	// swallowed and the bare error returned — forensics must never
 	// turn a detectable stall into a crash.
 	Diagnose func() *StallReport
+
+	// Parallel mode (see parallel.go). When plan is non-nil, Run
+	// executes the plan's shards on a worker gang instead of the
+	// registered components; shardMoved holds each shard's progress
+	// count for the current tick, folded into progress — in shard
+	// order — by worker 0 at the end-of-tick barrier.
+	plan       *ParallelPlan
+	gang       *pool.Gang
+	shardMoved []int64
 }
 
 // ErrStalled is returned by Run when the watchdog detects that no
@@ -111,12 +134,17 @@ func (e *Engine) Register(c Component, period int64) {
 func (e *Engine) Now() int64 { return e.now }
 
 // Progress is called by components whenever they move a flit (or make
-// any other kind of forward progress the watchdog should count).
+// any other kind of forward progress the watchdog should count). It is
+// serial-path API: under the parallel mode, shards report movement via
+// CommitPhase's return value instead — per-shard counters the engine
+// folds deterministically at the end-of-tick barrier — because a
+// shared counter would race across workers.
 func (e *Engine) Progress() { e.progress++ }
 
 // ProgressN reports n progress events at once. Components that move
 // many flits per commit batch their reporting through this instead of
-// one Progress call per flit.
+// one Progress call per flit. Like Progress, it must not be called
+// from inside a parallel shard's CommitPhase.
 func (e *Engine) ProgressN(n int) { e.progress += uint64(n) }
 
 // Step advances the simulation one tick.
@@ -162,7 +190,12 @@ func (e *Engine) Step() {
 }
 
 // Run advances the simulation by ticks ticks, checking the watchdog.
+// With a parallel plan installed (SetParallel) the ticks execute on
+// the worker gang; otherwise the serial path below runs unchanged.
 func (e *Engine) Run(ticks int64) error {
+	if e.plan != nil {
+		return e.runParallel(ticks)
+	}
 	end := e.now + ticks
 	for e.now < end {
 		e.Step()

@@ -165,6 +165,14 @@ type Config struct {
 	// deadlock. For forensics demonstrations and ablations — never for
 	// measurement runs.
 	UnsafeNoVC bool `json:"unsafe_no_vc,omitempty"`
+	// Workers, when > 1, runs the tick loop across that many worker
+	// goroutines, sharded by the model's ownership partition (per ring
+	// for hierarchies, per router row for meshes). Execution-only:
+	// results are bit-identical at any worker count, so Workers does
+	// not enter result cache keys (see CacheKey). Falls back to the
+	// serial engine for models or configurations that cannot shard, and
+	// whenever Trace is set.
+	Workers int `json:"workers,omitempty"`
 }
 
 // RingConfig describes a hierarchical-ring system.
@@ -520,6 +528,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Metrics:         reg,
 		MetricsInterval: interval,
 		FaultPlan:       plan,
+		Workers:         cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -561,6 +570,16 @@ func (s *System) RunContext(ctx context.Context, opt RunOptions) (Result, error)
 // StepCycles advances the simulation by n PM clock cycles without
 // collecting batch statistics (useful for warm-starting or tracing).
 func (s *System) StepCycles(n int64) error { return s.inner.StepCycles(n) }
+
+// Parallel reports whether ticks execute on the parallel worker engine
+// (Config.Workers > 1 and the model produced an ownership partition);
+// false means the exact serial path runs.
+func (s *System) Parallel() bool { return s.inner.Engine().Parallel() }
+
+// Close releases the engine's worker goroutines (parallel mode; no-op
+// otherwise). Run and RunContext already release them on return, so
+// Close only matters for callers driving the system via StepCycles.
+func (s *System) Close() { s.inner.Close() }
 
 // OnCycle registers f to be called once at the end of every engine
 // tick with the tick just completed and the number of flit movements

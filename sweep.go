@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -124,6 +125,11 @@ func sweepPoint(ctx context.Context, base Config, n int, opt SweepOptions) (Swee
 		cfg := base
 		cfg.Topology = ""
 		cfg.Nodes = n
+		// Engine-level workers (base.Workers) multiply with the sweep's
+		// own pool, so cap them to the share of the machine each point
+		// actually gets: sweep workers x engine workers never exceeds
+		// NumCPU. Results are unchanged — Workers is execution-only.
+		cfg.Workers = pool.CapInner(runtime.NumCPU(), opt.Workers, cfg.Workers)
 		if attempt > 0 {
 			cfg.Seed = rng.DeriveSeed(base.Seed, uint64(n)<<8+uint64(attempt))
 		}

@@ -1,0 +1,51 @@
+package ringmesh
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"ringmesh/internal/pool"
+)
+
+// TestSweepEngineWorkersDoNotChangeResults pins two properties of
+// engine-level parallelism inside a sweep: the per-point clamp keeps
+// sweep workers x engine workers within the machine (pool.CapInner),
+// and whatever worker count survives the clamp, the points are
+// bit-identical to a fully serial sweep — Workers is execution-only
+// all the way down.
+func TestSweepEngineWorkersDoNotChangeResults(t *testing.T) {
+	t.Parallel()
+	base := Config{
+		Network:   "ring",
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      goldenSeed,
+	}
+	opt := SweepOptions{Run: QuickRunOptions()}
+	sizes := []int{8, 24}
+
+	serial, err := SweepSizes(base, sizes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := base
+	par.Workers = 8 // clamped per point to NumCPU / sweep workers
+	popt := opt
+	popt.Workers = 2
+	got, err := SweepSizes(par, sizes, popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, serial) {
+		t.Errorf("sweep with engine workers diverged from serial\n got: %+v\nwant: %+v", got, serial)
+	}
+
+	// The clamp itself: the effective per-point worker count never
+	// multiplies past the CPU budget.
+	if eff := pool.CapInner(runtime.NumCPU(), popt.Workers, par.Workers); eff*popt.Workers > max(popt.Workers, runtime.NumCPU()) {
+		t.Errorf("clamp allows %d sweep x %d engine workers on %d CPUs",
+			popt.Workers, eff, runtime.NumCPU())
+	}
+}
