@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck race bench-smoke bench-guard bench-baseline smoke-ringmeshd ci
+.PHONY: all build test vet staticcheck race bench-smoke bench-guard bench-baseline profile smoke-ringmeshd ci
 
 all: build
 
@@ -32,16 +32,23 @@ bench-smoke:
 
 # Fail if the engine hot loop regressed >15% vs ci/bench-baseline.txt.
 # Guards both the serial dispatch path and the sharded parallel tick
-# (Workers=2 on the 8x8 mesh, one shard per row).
+# (Workers=2 on the 8x8 mesh, one shard per row); every guarded
+# benchmark is measured even after one regresses, so the report names
+# each offender and its slowdown.
 bench-guard:
-	$(GO) run ./cmd/benchguard
-	$(GO) run ./cmd/benchguard -bench BenchmarkEngineStepParallel2
+	$(GO) run ./cmd/benchguard -bench BenchmarkEngineStepUniform,BenchmarkEngineStepParallel2
 
 # Re-record the hot-loop baselines (after an intentional change).
 bench-baseline:
-	$(GO) run ./cmd/benchguard -update
-	$(GO) run ./cmd/benchguard -bench BenchmarkEngineStepParallel1 -update
-	$(GO) run ./cmd/benchguard -bench BenchmarkEngineStepParallel2 -update
+	$(GO) run ./cmd/benchguard -update -bench BenchmarkEngineStepUniform,BenchmarkEngineStepParallel1,BenchmarkEngineStepParallel2
+
+# CPU- and heap-profile the engine hot loop; inspect the output with
+# `go tool pprof cpu.prof`. For live profiles of the serving daemon,
+# boot it with -pprof and fetch /debug/pprof/profile instead.
+profile:
+	$(GO) test -run=NONE -bench=BenchmarkEngineStepUniform -benchtime=20000x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "profiles written: cpu.prof mem.prof (go tool pprof <file>)"
 
 # Boot the serving daemon, submit the same run twice, and assert the
 # second is answered from the result cache (end-to-end, over HTTP).

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Smoke test for the serving daemon: build ringmeshd, boot it with
-# per-job engine parallelism (-engine-workers), check health and
-# metrics, submit the same run twice and assert the second is answered
-# from the result cache — including a resubmission with a different
-# "workers" value, which must still hit (the cache key ignores the
-# execution-only Workers field) — then shut down gracefully with
-# SIGTERM. No dependencies beyond curl and the Go toolchain.
+# per-job engine parallelism (-engine-workers) and profiling enabled
+# (-pprof), check health and metrics (including latency histogram
+# buckets and a CPU profile fetch), submit the same run twice and
+# assert the second is answered from the result cache — including a
+# resubmission with a different "workers" value, which must still hit
+# (the cache key ignores the execution-only Workers field) — fetch the
+# job's lifecycle trace, then shut down gracefully with SIGTERM. No
+# dependencies beyond curl and the Go toolchain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,15 +16,16 @@ bin=$(mktemp -d)/ringmeshd
 log=$(mktemp)
 go build -o "$bin" ./cmd/ringmeshd
 
-"$bin" -addr 127.0.0.1:0 -engine-workers 2 >"$log" 2>&1 &
+"$bin" -addr 127.0.0.1:0 -engine-workers 2 -pprof >"$log" 2>&1 &
 pid=$!
 cleanup() { kill "$pid" 2>/dev/null || true; }
 trap cleanup EXIT
 
-# The daemon logs its resolved ephemeral address on startup.
+# The daemon logs its resolved ephemeral address on startup as a
+# structured "listening" event with an addr= attribute.
 addr=""
 for _ in $(seq 1 100); do
-  addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$log" | head -n 1)
+  addr=$(sed -n 's/.*msg=listening addr=\([0-9.:]*\).*/\1/p' "$log" | head -n 1)
   [ -n "$addr" ] && break
   sleep 0.1
 done
@@ -80,6 +83,26 @@ echo "$metrics" | grep -q '^ringmeshd_cache_hits_total [1-9]' \
   || { echo "FAIL: no cache hit recorded:"; echo "$metrics"; exit 1; }
 echo "$metrics" | grep -q '^ringmeshd_cache_misses_total 1$' \
   || { echo "FAIL: expected exactly one cache miss:"; echo "$metrics"; exit 1; }
+# Telemetry: the completed job left run-duration histogram buckets
+# labeled by family and outcome, and runtime health gauges are live.
+echo "$metrics" | grep -q 'ringmeshd_job_run_seconds_bucket{family="mesh",outcome="done",le="+Inf"}' \
+  || { echo "FAIL: no run-duration histogram buckets:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -q '^go_goroutines ' \
+  || { echo "FAIL: no runtime gauges:"; echo "$metrics"; exit 1; }
+
+# The job's lifecycle trace is served as Chrome trace-event JSON.
+trace=$(curl -fsS "$base/v1/jobs/$id/trace")
+case "$trace" in
+  *'"traceEvents"'*'"queue-wait"'*) ;;
+  *) echo "FAIL: job trace missing lifecycle spans: $trace"; exit 1 ;;
+esac
+
+# Profiling is mounted (we booted with -pprof): a 1-second CPU profile
+# must come back non-empty.
+prof=$(mktemp)
+curl -fsS -o "$prof" "$base/debug/pprof/profile?seconds=1" \
+  || { echo "FAIL: pprof profile fetch"; exit 1; }
+[ -s "$prof" ] || { echo "FAIL: empty CPU profile"; exit 1; }
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$pid"

@@ -1,17 +1,20 @@
-// Command benchguard runs a benchmark and compares its ns/op against
-// a checked-in baseline, failing when the measurement regresses past a
+// Command benchguard runs benchmarks and compares their ns/op against
+// checked-in baselines, failing when any measurement regresses past a
 // threshold. It guards the engine's hot loop — in particular that the
 // metrics instrumentation stays free when disabled.
 //
 // Usage:
 //
 //	go run ./cmd/benchguard                # compare against the baseline
-//	go run ./cmd/benchguard -update        # re-record the baseline
+//	go run ./cmd/benchguard -bench A,B,C   # guard several benchmarks in one run
+//	go run ./cmd/benchguard -update        # re-record the baselines
 //	go run ./cmd/benchguard -threshold 25  # loosen the gate (percent)
 //
-// The benchmark runs -count times and the fastest run is compared:
+// Each benchmark runs -count times and the fastest run is compared:
 // minimum-of-N is robust to scheduler noise, which only ever slows a
-// run down.
+// run down. Every guarded benchmark is measured even after one fails,
+// so a regression report names everything that regressed and by how
+// much, not just the first offender.
 package main
 
 import (
@@ -25,39 +28,58 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "BenchmarkEngineStepUniform", "benchmark to guard (exact name)")
-		pkg       = flag.String("pkg", ".", "package holding the benchmark")
+		bench     = flag.String("bench", "BenchmarkEngineStepUniform", "benchmarks to guard (comma-separated exact names)")
+		pkg       = flag.String("pkg", ".", "package holding the benchmarks")
 		baseline  = flag.String("baseline", "ci/bench-baseline.txt", "baseline file path")
 		count     = flag.Int("count", 5, "benchmark repetitions (fastest wins)")
 		benchtime = flag.String("benchtime", "2000x", "go test -benchtime value")
 		threshold = flag.Float64("threshold", 15, "allowed regression in percent")
-		update    = flag.Bool("update", false, "record the measurement as the new baseline")
+		update    = flag.Bool("update", false, "record the measurements as the new baselines")
 	)
 	flag.Parse()
 
-	got, err := measure(*bench, *pkg, *count, *benchtime)
-	if err != nil {
-		fail(err)
+	benches := strings.Split(*bench, ",")
+	for i := range benches {
+		benches[i] = strings.TrimSpace(benches[i])
 	}
-	fmt.Printf("benchguard: %s = %.1f ns/op (best of %d)\n", *bench, got, *count)
 
-	if *update {
-		if err := writeBaseline(*baseline, *bench, got); err != nil {
+	var regressions []string
+	for _, b := range benches {
+		if b == "" {
+			continue
+		}
+		got, err := measure(b, *pkg, *count, *benchtime)
+		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("benchguard: baseline written to %s\n", *baseline)
+		fmt.Printf("benchguard: %s = %.1f ns/op (best of %d)\n", b, got, *count)
+
+		if *update {
+			if err := writeBaseline(*baseline, b, got); err != nil {
+				fail(err)
+			}
+			continue
+		}
+
+		want, err := readBaseline(*baseline, b)
+		if err != nil {
+			fail(err)
+		}
+		change := 100 * (got - want) / want
+		fmt.Printf("benchguard: %s baseline %.1f ns/op, change %+.1f%% (limit +%.0f%%)\n",
+			b, want, change, *threshold)
+		if change > *threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed %+.1f%% (got %.1f ns/op, baseline %.1f)", b, change, got, want))
+		}
+	}
+	if *update {
+		fmt.Printf("benchguard: baselines written to %s\n", *baseline)
 		return
 	}
-
-	want, err := readBaseline(*baseline, *bench)
-	if err != nil {
-		fail(err)
-	}
-	change := 100 * (got - want) / want
-	fmt.Printf("benchguard: baseline %.1f ns/op, change %+.1f%% (limit +%.0f%%)\n", want, change, *threshold)
-	if change > *threshold {
-		fail(fmt.Errorf("%s regressed %.1f%% past the %.0f%% limit (got %.1f ns/op, baseline %.1f); if intentional, re-record with -update",
-			*bench, change, *threshold, got, want))
+	if len(regressions) > 0 {
+		fail(fmt.Errorf("%d of %d benchmarks past the +%.0f%% limit:\n  %s\nif intentional, re-record with -update",
+			len(regressions), len(benches), *threshold, strings.Join(regressions, "\n  ")))
 	}
 	fmt.Println("benchguard: ok")
 }

@@ -66,8 +66,9 @@ func main() {
 		faultPlan = flag.String("fault-plan", "", `fault plan DSL: ";"-separated events "kind@start+dur:node=N[,port=P][,factor=F]" (kinds stutter/slowdown/degrade), or "rand:events=E,seed=S,horizon=H"`)
 		timeout   = flag.Duration("timeout", 0, "wall-clock bound for the run, e.g. 30s (0 = none)")
 		noVC      = flag.Bool("unsafe-no-vc", false, "disable the ring's deadlock-avoidance virtual channels (forensics demos; wormhole ring only)")
-	workersF  = flag.Int("workers", 1, "parallel tick workers (1 = serial engine; results are bit-identical at any count)")
+		workersF  = flag.Int("workers", 1, "parallel tick workers (1 = serial engine; results are bit-identical at any count)")
 
+		verbose    = flag.Bool("v", false, "collect the full latency distribution and print a p50/p95/p99 summary line")
 		metricsOn  = flag.Bool("metrics", false, "collect link/queue/stall instruments and print a snapshot after the run")
 		metricsInt = flag.Int64("metrics-interval", 100, "metrics sampling period in PM cycles (with -metrics)")
 		metricsOut = flag.String("metrics-out", "", "write the sampled metrics time series to this file; .jsonl suffix selects JSON Lines, anything else CSV (with -metrics)")
@@ -114,6 +115,7 @@ func main() {
 		Workload:        wl,
 		MemLatency:      *memLat,
 		Seed:            *seed,
+		Histogram:       *verbose,
 		Workers:         *workersF,
 		Tracer:          rec,
 		Metrics:         reg,
@@ -139,6 +141,10 @@ func main() {
 		res.Latency, res.LatencyCI, res.Observations)
 	fmt.Printf("throughput:   %.3f transactions/cycle (%d issued, %d completed, %d local)\n",
 		res.Throughput, res.Issued, res.Completed, res.Local)
+	if *verbose {
+		fmt.Printf("latency dist: p50=%.0f p95=%.0f p99=%.0f max=%.0f cycles\n",
+			res.LatencyP50, res.LatencyP95, res.LatencyP99, res.LatencyMax)
+	}
 	if res.RingUtil != nil {
 		fmt.Printf("ring util:    ")
 		for lvl, u := range res.RingUtil {

@@ -16,6 +16,12 @@
 // queued and in-flight jobs finish (bounded by -drain-timeout), then
 // the listener closes. Exit codes: 0 clean shutdown, 1 runtime
 // failure, 2 configuration error.
+//
+// Observability: every job's lifecycle spans are served at
+// GET /v1/jobs/{id}/trace as Chrome trace-event JSON, queue-wait and
+// run-duration histograms appear on /metrics, structured logs with
+// job IDs go to stderr (-log-level to tune), and -pprof mounts the Go
+// profiling endpoints under /debug/pprof.
 package main
 
 import (
@@ -23,11 +29,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +53,8 @@ func main() {
 		maxBody      = flag.Int64("max-body", 1<<20, "request body bound in bytes")
 		jobTimeout   = flag.Duration("job-timeout", 0, "wall-clock bound per job, e.g. 5m (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		pprofOn      = flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof (exposes stacks and heap contents)")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	)
 	flag.Parse()
 
@@ -54,6 +63,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
 		os.Exit(2)
 	}
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv := serve.New(serve.Options{
 		Workers:       *workers,
@@ -64,6 +79,8 @@ func main() {
 		Burst:         *burst,
 		MaxBody:       *maxBody,
 		JobTimeout:    *jobTimeout,
+		Logger:        logger,
+		EnablePprof:   *pprofOn,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -71,7 +88,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
 		os.Exit(1)
 	}
-	log.Printf("ringmeshd: listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String(), "pprof", *pprofOn)
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -92,20 +109,36 @@ func main() {
 
 	// Drain first so job polling stays available while in-flight work
 	// finishes; only then close the listener.
-	log.Printf("ringmeshd: draining (up to %s)", *drainTimeout)
+	logger.Info("draining", "timeout", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	code := 0
 	if err := srv.Drain(dctx); err != nil {
-		log.Printf("ringmeshd: drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "err", err)
 		code = 1
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("ringmeshd: shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
 		code = 1
 	}
-	log.Printf("ringmeshd: stopped")
+	logger.Info("stopped")
 	os.Exit(code)
+}
+
+// parseLevel maps the -log-level flag onto slog levels.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("-log-level %q: want debug, info, warn, or error", s)
+	}
 }
 
 // validateFlags rejects nonsense values with messages naming the flag.

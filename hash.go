@@ -70,10 +70,10 @@ type canonicalRun struct {
 //     "none" (both observationally free) hash equal;
 //   - fields a network family is known to ignore are zeroed (a mesh
 //     hashes the same with or without DoubleSpeedGlobal);
-//   - observation-only fields never enter the hash: Metrics, Trace
-//     and their companions cannot change a Result (golden-tested),
-//     and RunOptions.Timeout and FailOnStall only decide whether a
-//     result is returned, never its value;
+//   - observation-only fields never enter the hash: Metrics, Trace,
+//     PhaseStats and their companions cannot change a Result
+//     (golden-tested), and RunOptions.Timeout and FailOnStall only
+//     decide whether a result is returned, never its value;
 //   - execution-only fields never enter the hash either: Workers
 //     selects the parallel engine, whose results are golden-tested
 //     bit-identical to serial at every worker count, so a cached

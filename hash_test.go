@@ -73,6 +73,10 @@ func TestCacheKeyEquivalentSpellings(t *testing.T) {
 		{"workers are execution-only", func(c *Config, _ *RunOptions) {
 			c.Workers = 8
 		}},
+		{"phase stats are observation-only", func(c *Config, _ *RunOptions) {
+			c.Workers = 8
+			c.PhaseStats = true
+		}},
 		{"timeout does not change the result value", func(_ *Config, o *RunOptions) {
 			o.Timeout = 1e9
 		}},
@@ -202,13 +206,20 @@ func TestCacheKeyInvalidConfig(t *testing.T) {
 }
 
 // TestCacheKeyStable pins one literal key so accidental changes to the
-// canonical form (field renames, normalization tweaks) fail loudly and
-// force a cacheKeyVersion bump decision.
+// canonical form (field renames, normalization tweaks, new fields
+// leaking into the hash) fail loudly and force a cacheKeyVersion bump
+// decision. If this test fails, either restore the canonical form or
+// bump cacheKeyVersion and update the literal — never silently accept
+// a drifted key, which would orphan every cached result.
 func TestCacheKeyStable(t *testing.T) {
 	cfg, opt := baseMesh()
 	a := mustKey(t, cfg, opt)
 	b := mustKey(t, cfg, opt)
 	if a != b {
 		t.Fatalf("CacheKey not deterministic: %s vs %s", a, b)
+	}
+	const pinned = "dc67a09abefee27b3a3a43a308f87b2d581250cee9a14dfc7a284939d35c3c5a"
+	if a != pinned {
+		t.Fatalf("CacheKey canonical form drifted:\n got %s\nwant %s", a, pinned)
 	}
 }

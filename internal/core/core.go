@@ -25,6 +25,7 @@ import (
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
 	"ringmesh/internal/node"
+	"ringmesh/internal/obs"
 	"ringmesh/internal/ring"
 	"ringmesh/internal/sim"
 	"ringmesh/internal/stats"
@@ -93,6 +94,12 @@ type SystemConfig struct {
 	// serial engine when the model declines to partition or a tracer is
 	// attached.
 	Workers int
+	// PhaseStats, when true together with Workers > 1, times each
+	// shard's compute/commit phases and each worker's barrier waits
+	// (see System.PhaseStats). Observation-only like Metrics: the
+	// schedule and results are bit-identical with it on or off, so it
+	// never enters result cache keys. Ignored on the serial path.
+	PhaseStats bool
 }
 
 // NewSystem builds a multiprocessor around any registered
@@ -121,6 +128,13 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 	if cfg.Histogram {
 		s.col.Hist = stats.NewHistogram(4096, 1)
+	}
+	if cfg.Metrics != nil {
+		// Export the round-trip latency distribution (PM cycles) as a
+		// Prometheus histogram: log buckets 4..32768 cover everything
+		// from an L2-adjacent hit to a deeply saturated hierarchy.
+		s.col.LatHist = cfg.Metrics.Histogram("latency_cycles",
+			metrics.Labels{}, metrics.ExpBuckets(4, 2, 14))
 	}
 	ports := make([]network.Port, plan.PMs)
 	for id := 0; id < plan.PMs; id++ {
@@ -307,6 +321,11 @@ func (s *System) Metrics() *metrics.Registry { return s.metrics }
 // unless the system was built with Metrics and MetricsInterval).
 func (s *System) Sampler() *metrics.Sampler { return s.sampler }
 
+// PhaseStats returns the parallel engine's phase-timing accumulator
+// (nil unless the system was built with Workers > 1, PhaseStats set,
+// and the model partitioned itself). Read only after a run completes.
+func (s *System) PhaseStats() *obs.PhaseStats { return s.engine.PhaseStats() }
+
 // TicksPerCycle returns engine ticks per PM clock cycle (2 on
 // double-speed-global configurations, else 1).
 func (s *System) TicksPerCycle() int64 { return s.ticksPerCycle }
@@ -394,10 +413,10 @@ type Result struct {
 	// Issued, Completed, Local are transaction counts over the whole
 	// run (including warmup).
 	Issued, Completed, Local int64
-	// LatencyP50, LatencyP95 and LatencyMax describe the latency
-	// distribution when the system was built with Histogram set
-	// (zero otherwise).
-	LatencyP50, LatencyP95, LatencyMax float64
+	// LatencyP50, LatencyP95, LatencyP99 and LatencyMax describe the
+	// latency distribution when the system was built with Histogram
+	// set (zero otherwise).
+	LatencyP50, LatencyP95, LatencyP99, LatencyMax float64
 	// BatchesCorrelated flags strong lag-1 autocorrelation among batch
 	// means (|r| > 0.5): the batches are too short relative to the
 	// system's time constants and LatencyCI understates uncertainty.
@@ -569,6 +588,7 @@ func (s *System) RunCtx(ctx context.Context, rc RunConfig) (res Result, err erro
 	if s.col.Hist != nil && s.col.Hist.Count() > 0 {
 		res.LatencyP50 = s.col.Hist.Quantile(0.5)
 		res.LatencyP95 = s.col.Hist.Quantile(0.95)
+		res.LatencyP99 = s.col.Hist.Quantile(0.99)
 		res.LatencyMax = s.col.Hist.Quantile(1)
 	}
 	ns := s.net.Stats()

@@ -73,6 +73,7 @@ func (s *System) applyParallel(cfg SystemConfig) error {
 	}
 	covered := make([]bool, s.pmCount)
 	shards := make([]sim.Shard, 0, len(part.Shards))
+	names := make([]string, 0, len(part.Shards))
 	for _, ps := range part.Shards {
 		if ps.PMLo < 0 || ps.PMHi > s.pmCount || ps.PMLo > ps.PMHi {
 			return fmt.Errorf("core: partition shard %q owns PM range [%d,%d) outside [0,%d)",
@@ -89,6 +90,7 @@ func (s *System) applyParallel(cfg SystemConfig) error {
 			tpc:  s.ticksPerCycle,
 			comp: ps.Comp,
 		})
+		names = append(names, ps.Name)
 	}
 	for id, c := range covered {
 		if !c {
@@ -112,9 +114,13 @@ func (s *System) applyParallel(cfg SystemConfig) error {
 	s.engine.SetParallel(&sim.ParallelPlan{
 		Workers:      cfg.Workers,
 		Shards:       shards,
+		ShardNames:   names,
 		CommitPhases: part.CommitPhases,
 		Prologue:     part.Prologue,
 		Epilogue:     func(now int64) { col.DrainCells(order) },
 	})
+	if cfg.PhaseStats {
+		s.engine.EnablePhaseStats()
+	}
 	return nil
 }

@@ -78,6 +78,12 @@ func (r *Registry) WriteText(w io.Writer) error {
 			}
 			lastName = s.Name
 		}
+		if s.Kind == KindHistogram {
+			if err := writeHistogram(w, s); err != nil {
+				return err
+			}
+			continue
+		}
 		if _, err := fmt.Fprintf(w, "%s%s %s\n",
 			s.Name, s.Labels.promString(),
 			strconv.FormatFloat(s.Value(), 'g', -1, 64)); err != nil {
@@ -85,4 +91,33 @@ func (r *Registry) WriteText(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeHistogram renders one histogram series in Prometheus exposition
+// form: cumulative _bucket counts with "le" bounds (including +Inf),
+// then _sum and _count.
+func writeHistogram(w io.Writer, s *Series) error {
+	h := s.Hist()
+	counts := h.BucketCounts()
+	bounds := h.Bounds()
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = strconv.FormatFloat(bounds[i], 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.Name, s.Labels.promString([2]string{"le", le}), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		s.Name, s.Labels.promString(),
+		strconv.FormatFloat(h.Sum(), 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		s.Name, s.Labels.promString(), h.Count())
+	return err
 }

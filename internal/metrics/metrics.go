@@ -31,6 +31,8 @@ package metrics
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,7 +43,7 @@ import (
 // Labels is the small fixed label scheme keying a series. Empty
 // fields are omitted from the rendered key. The scheme is deliberately
 // closed (no free-form map): every model names its instruments with
-// the same four dimensions, so exported series are joinable across
+// the same dimensions, so exported series are joinable across
 // topologies.
 type Labels struct {
 	// Link names a physical channel or channel group ("L0" for the
@@ -53,6 +55,12 @@ type Labels struct {
 	Queue string
 	// Class is the traffic class ("req" or "rsp").
 	Class string
+	// Family is the network family a served job targets ("ring",
+	// "mesh"); a serving-layer dimension, empty on model instruments.
+	Family string
+	// Outcome is a served job's terminal state ("done", "failed");
+	// a serving-layer dimension, empty on model instruments.
+	Outcome string
 }
 
 // String renders the labels in {k=v,...} form with a fixed key order,
@@ -68,6 +76,8 @@ func (l Labels) String() string {
 	add("node", l.Node)
 	add("queue", l.Queue)
 	add("class", l.Class)
+	add("family", l.Family)
+	add("outcome", l.Outcome)
 	if len(parts) == 0 {
 		return ""
 	}
@@ -75,8 +85,9 @@ func (l Labels) String() string {
 }
 
 // promString renders the labels in Prometheus exposition form
-// ({k="v",...}), or "" when all labels are empty.
-func (l Labels) promString() string {
+// ({k="v",...}), or "" when all labels are empty. extra appends
+// additional pairs (the histogram exporter's "le" bound).
+func (l Labels) promString(extra ...[2]string) string {
 	var parts []string
 	add := func(k, v string) {
 		if v != "" {
@@ -87,6 +98,11 @@ func (l Labels) promString() string {
 	add("node", l.Node)
 	add("queue", l.Queue)
 	add("class", l.Class)
+	add("family", l.Family)
+	add("outcome", l.Outcome)
+	for _, kv := range extra {
+		add(kv[0], kv[1])
+	}
 	if len(parts) == 0 {
 		return ""
 	}
@@ -103,6 +119,8 @@ const (
 	KindGauge
 	// KindRatio is busy-over-capacity utilization in [0,1].
 	KindRatio
+	// KindHistogram is a bucketed value distribution.
+	KindHistogram
 )
 
 // String names the kind (Prometheus type vocabulary: ratios and
@@ -113,6 +131,8 @@ func (k Kind) String() string {
 		return "counter"
 	case KindGauge, KindRatio:
 		return "gauge"
+	case KindHistogram:
+		return "histogram"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -145,6 +165,145 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Histogram is a concurrency-safe, bucketed value distribution: each
+// observation lands in the first bucket whose upper bound is >= the
+// value (one implicit +Inf bucket catches the rest), and a running sum
+// and count ride along, so the exporter can render the Prometheus
+// histogram triplet (_bucket/_sum/_count) and callers can estimate
+// quantiles without retaining observations.
+//
+// Like Counter, the nil Histogram (handed out by a nil Registry)
+// ignores every call, so instrumented paths cost one pointer test when
+// metrics are disabled. All state is atomic: concurrent jobs in the
+// serving daemon observe into one shared instrument. A concurrent
+// snapshot is not a consistent cut (a racing Observe may be counted in
+// the buckets but not yet in the sum); the drift is one observation
+// and irrelevant for monitoring.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds:
+// start, start*factor, ..., start*factor^(n-1) — the log-bucketed
+// scheme latency distributions want (constant relative resolution).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of observed values (0 for a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns a snapshot of the per-bucket counts, one entry
+// per bound plus the trailing +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by locating the
+// bucket holding the target rank and interpolating linearly inside it.
+// Observations in the +Inf bucket report the last finite bound (the
+// estimate saturates there; widen the buckets if that matters). Zero
+// when empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(n)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			if i >= len(h.bounds) { // +Inf bucket: saturate at the last bound
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (target - cum) / c
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// reset clears all state (the registry's warmup-aware Reset).
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
 // Series is one named, labelled instrument registered in a Registry.
 type Series struct {
 	// Name is the metric name ("ring_link_util").
@@ -157,6 +316,16 @@ type Series struct {
 	counter *Counter
 	gauge   func() float64
 	ratios  []*stats.Utilization
+	hist    *Histogram
+}
+
+// Hist returns the series' histogram instrument (nil unless the series
+// is KindHistogram) — the exporter reads buckets through it.
+func (s *Series) Hist() *Histogram {
+	if s.Kind != KindHistogram {
+		return nil
+	}
+	return s.hist
 }
 
 // Key returns the unique series key: name plus rendered labels.
@@ -171,6 +340,8 @@ func (s *Series) Value() float64 {
 		return float64(s.counter.Value())
 	case KindGauge:
 		return s.gauge()
+	case KindHistogram:
+		return float64(s.hist.Count())
 	default:
 		var u stats.Utilization
 		for _, r := range s.ratios {
@@ -187,6 +358,8 @@ func (s *Series) raw() (int64, int64) {
 	switch s.Kind {
 	case KindCounter:
 		return s.counter.Value(), 0
+	case KindHistogram:
+		return s.hist.Count(), 0
 	case KindRatio:
 		var u stats.Utilization
 		for _, r := range s.ratios {
@@ -258,6 +431,28 @@ func (r *Registry) Gauge(name string, l Labels, f func() float64) {
 	r.register(&Series{Name: name, Labels: l, Kind: KindGauge, gauge: f})
 }
 
+// Histogram registers and returns a histogram series with the given
+// ascending bucket upper bounds (an overflow +Inf bucket is added
+// implicitly). A nil registry returns a nil histogram, whose methods
+// all no-op.
+func (r *Registry) Histogram(name string, l Labels, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: Histogram(%s%s) with no bounds", name, l))
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: Histogram(%s%s) bounds not ascending", name, l))
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.register(&Series{Name: name, Labels: l, Kind: KindHistogram, hist: h})
+	return h
+}
+
 // Ratio registers a utilization series backed by the given
 // stats.Utilization counters (their merged busy/capacity is the
 // series value). The backings stay owned by the caller — typically a
@@ -314,6 +509,8 @@ func (r *Registry) Reset() {
 		switch s.Kind {
 		case KindCounter:
 			s.counter.v.Store(0)
+		case KindHistogram:
+			s.hist.reset()
 		case KindRatio:
 			for _, u := range s.ratios {
 				u.Reset()

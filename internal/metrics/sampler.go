@@ -7,7 +7,8 @@ type Sample struct {
 	Tick int64
 	// Values holds one value per selected series: windowed utilization
 	// in [0,1] for ratios, the event count within the window for
-	// counters, and the instantaneous value for gauges.
+	// counters (and the observation count for histograms), and the
+	// instantaneous value for gauges.
 	Values []float64
 }
 
@@ -99,7 +100,7 @@ func (s *Sampler) OnCycle(now int64, moved uint64) {
 			a, b := sr.raw()
 			da, db := a-s.prevA[i], b-s.prevB[i]
 			s.prevA[i], s.prevB[i] = a, b
-			if sr.Kind == KindCounter {
+			if sr.Kind == KindCounter || sr.Kind == KindHistogram {
 				row.Values[i] = float64(da)
 			} else if db > 0 {
 				row.Values[i] = float64(da) / float64(db)

@@ -14,6 +14,7 @@ package node
 import (
 	"fmt"
 
+	"ringmesh/internal/metrics"
 	"ringmesh/internal/packet"
 	"ringmesh/internal/rng"
 	"ringmesh/internal/stats"
@@ -53,6 +54,10 @@ type Collector struct {
 	Latency *stats.BatchMeans
 	// Hist optionally accumulates the latency distribution.
 	Hist *stats.Histogram
+	// LatHist, when non-nil, mirrors completion latencies into a
+	// metrics histogram so /metrics exports the distribution as
+	// Prometheus _bucket series. Observation-only, like Hist.
+	LatHist *metrics.Histogram
 	// TicksPerCycle converts engine ticks to PM cycles (2 when the
 	// global ring is double-clocked, else 1).
 	TicksPerCycle int64
@@ -136,6 +141,7 @@ func (c *Collector) observe(latencyTicks int64) {
 	if c.Hist != nil {
 		c.Hist.Add(cycles)
 	}
+	c.LatHist.Observe(cycles)
 }
 
 // ShardByPM switches the collector into sharded mode for n PMs (see

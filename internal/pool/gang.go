@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Gang is a reusable, fixed-size set of worker goroutines that execute
@@ -75,6 +76,16 @@ func (g *Gang) Run(body func(worker int)) {
 // happens-before edge from everything written before the barrier to
 // everything read after it.
 func (g *Gang) Sync() { g.bar.wait() }
+
+// SyncTimed is Sync returning how long this worker waited at the
+// barrier — the observability variant the engine's opt-in phase
+// timing uses. A long wait on one worker is the signature of shard
+// imbalance: its gang-mates are still computing.
+func (g *Gang) SyncTimed() time.Duration {
+	t0 := time.Now()
+	g.bar.wait()
+	return time.Since(t0)
+}
 
 // Close releases the gang's goroutines. The gang must be idle (no Run
 // in flight). Safe to call more than once.

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"ringmesh"
+	"ringmesh/internal/obs"
 )
 
 // runRequest is the POST /v1/runs body: a facade Config (snake_case
@@ -34,18 +36,28 @@ type errorBody struct {
 
 // Handler returns the daemon's route table:
 //
-//	POST /v1/runs        submit one simulation (202, or 200 on a cache hit)
-//	POST /v1/sweeps      submit a size sweep (202)
-//	GET  /v1/jobs/{id}   poll a job document; ?watch=1 streams SSE
-//	GET  /healthz        200 while accepting work, 503 while draining
-//	GET  /metrics        Prometheus-style text snapshot
+//	POST /v1/runs              submit one simulation (202, or 200 on a cache hit)
+//	POST /v1/sweeps            submit a size sweep (202)
+//	GET  /v1/jobs/{id}         poll a job document; ?watch=1 streams SSE
+//	GET  /v1/jobs/{id}/trace   job lifecycle spans as Chrome trace-event JSON
+//	GET  /healthz              200 while accepting work, 503 while draining
+//	GET  /metrics              Prometheus-style text snapshot
+//	GET  /debug/pprof/...      Go profiling endpoints (only with EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleRun)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opt.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -124,11 +136,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !s.gate(w, r, &req) {
 		return
 	}
+	validateStart := time.Now()
 	opt := ringmesh.DefaultRunOptions()
 	if req.Options != nil {
 		opt = *req.Options
 	}
 	if err := validateRunOptions(opt); err != nil {
+		s.log.Warn("run rejected", "client", clientKey(r), "err", err)
 		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
 		return
 	}
@@ -136,12 +150,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The model's own validation message, verbatim — the same text
 		// NewSystem would produce.
+		s.log.Warn("run rejected", "client", clientKey(r), "err", err)
 		writeError(w, http.StatusBadRequest, "invalid config: %v", err)
 		return
 	}
 
-	j := newJob("", "run")
+	j := newJob("", "run", s.opt.TraceSpans)
 	j.cfg, j.opt, j.key = req.Config, opt, key
+	j.tr.Record(obs.SpanRecord{
+		Name: "validate", Start: validateStart, Dur: time.Since(validateStart),
+		Attrs: []obs.Attr{{Key: "key", Value: key[:8]}},
+	})
 
 	// Submission-time cache probe: a hit completes the job without it
 	// ever touching the queue, so cached replays cost one map lookup
@@ -151,18 +170,29 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.register(j)
 		s.accepted.Inc()
 		s.completed.Inc()
+		s.log.Info("run served from cache", "job", j.id,
+			"family", j.family(), "client", clientKey(r))
 		writeJSON(w, http.StatusOK, j.view())
 		return
 	}
 
 	s.register(j)
+	// enqueuedAt is set before the queue send: a worker may pick the
+	// job up the instant it lands in the channel, and it reads this
+	// field to reconstruct the queue-wait span.
+	enqStart := time.Now()
+	j.enqueuedAt = enqStart
 	if err := s.enqueue(j); err != nil {
 		s.unregister(j)
 		s.rejected.Inc()
+		s.log.Warn("run rejected", "client", clientKey(r), "err", err)
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
+	j.tr.Record(obs.SpanRecord{Name: "enqueue", Start: enqStart, Dur: time.Since(enqStart)})
 	s.accepted.Inc()
+	s.log.Info("run accepted", "job", j.id, "family", j.family(),
+		"client", clientKey(r))
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
@@ -171,6 +201,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.gate(w, r, &req) {
 		return
 	}
+	validateStart := time.Now()
 	opt := ringmesh.DefaultRunOptions()
 	if req.Options != nil {
 		opt = *req.Options
@@ -195,18 +226,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j := newJob("", "sweep")
+	j := newJob("", "sweep", s.opt.TraceSpans)
 	j.cfg, j.opt = req.Config, opt
 	j.sizes = append([]int(nil), req.Sizes...)
+	j.tr.Record(obs.SpanRecord{
+		Name: "validate", Start: validateStart, Dur: time.Since(validateStart),
+	})
 	s.register(j)
+	enqStart := time.Now()
+	j.enqueuedAt = enqStart
 	if err := s.enqueue(j); err != nil {
 		s.unregister(j)
 		s.rejected.Inc()
+		s.log.Warn("sweep rejected", "client", clientKey(r), "err", err)
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
+	j.tr.Record(obs.SpanRecord{Name: "enqueue", Start: enqStart, Dur: time.Since(enqStart)})
 	s.accepted.Inc()
+	s.log.Info("sweep accepted", "job", j.id, "family", j.family(),
+		"sizes", len(j.sizes), "client", clientKey(r))
 	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// handleJobTrace serves a job's lifecycle spans as Chrome trace-event
+// JSON, loadable in chrome://tracing or Perfetto.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = j.tr.WriteChrome(w, 1)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

@@ -15,9 +15,11 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"time"
 
 	"ringmesh"
 	"ringmesh/internal/metrics"
+	"ringmesh/internal/obs"
 )
 
 // flight is one in-progress computation other requests with the same
@@ -108,8 +110,9 @@ func (c *resultCache) get(key string) (ringmesh.Result, bool) {
 // the leader's flight and share its outcome. The second return is
 // true when the result was replayed rather than computed by this
 // call — a stored hit or a coalesced wait on another caller's
-// successful computation.
-func (c *resultCache) do(ctx context.Context, key string, compute func() (ringmesh.Result, error)) (ringmesh.Result, bool, error) {
+// successful computation. tr (nil ok) receives a cache-store span
+// when a leader's freshly-computed result is inserted.
+func (c *resultCache) do(ctx context.Context, key string, tr *obs.Trace, compute func() (ringmesh.Result, error)) (ringmesh.Result, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
@@ -137,13 +140,22 @@ func (c *resultCache) do(ctx context.Context, key string, compute func() (ringme
 
 	f.res, f.err = compute()
 
+	storeStart := time.Now()
+	stored := false
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if f.err == nil && !f.res.Stalled {
 		c.insertLocked(key, f.res)
+		stored = true
 	}
 	c.mu.Unlock()
 	close(f.done)
+	if stored {
+		tr.Record(obs.SpanRecord{
+			Name: "cache-store", Start: storeStart, Dur: time.Since(storeStart),
+			Attrs: []obs.Attr{{Key: "key", Value: shortKey(key)}},
+		})
+	}
 	return f.res, false, f.err
 }
 
@@ -162,6 +174,14 @@ func (c *resultCache) insertLocked(key string, res ringmesh.Result) {
 		delete(c.entries, tail.Value.(*cacheEntry).key)
 		c.evictions.Inc()
 	}
+}
+
+// shortKey abbreviates a cache key for span attributes and logs.
+func shortKey(key string) string {
+	if len(key) > 8 {
+		return key[:8]
+	}
+	return key
 }
 
 // len reports the number of stored entries.

@@ -22,11 +22,11 @@ func TestCacheHitAfterCompute(t *testing.T) {
 	computes := 0
 	compute := func() (ringmesh.Result, error) { computes++; return res(10), nil }
 
-	r, cached, err := c.do(ctx, "k", compute)
+	r, cached, err := c.do(ctx, "k", nil, compute)
 	if err != nil || cached || r.LatencyCycles != 10 {
 		t.Fatalf("first do = (%v, %v, %v); want fresh 10", r.LatencyCycles, cached, err)
 	}
-	r, cached, err = c.do(ctx, "k", compute)
+	r, cached, err = c.do(ctx, "k", nil, compute)
 	if err != nil || !cached || r.LatencyCycles != 10 {
 		t.Fatalf("second do = (%v, %v, %v); want cached 10", r.LatencyCycles, cached, err)
 	}
@@ -46,7 +46,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	ctx := context.Background()
 	for i, k := range []string{"a", "b", "c"} {
 		v := float64(i)
-		if _, _, err := c.do(ctx, k, func() (ringmesh.Result, error) { return res(v), nil }); err != nil {
+		if _, _, err := c.do(ctx, k, nil, func() (ringmesh.Result, error) { return res(v), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -64,7 +64,7 @@ func TestCacheLRUEviction(t *testing.T) {
 
 	// Touching "b" must protect it from the next eviction.
 	c.get("b")
-	if _, _, err := c.do(ctx, "d", func() (ringmesh.Result, error) { return res(3), nil }); err != nil {
+	if _, _, err := c.do(ctx, "d", nil, func() (ringmesh.Result, error) { return res(3), nil }); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.get("b"); !ok {
@@ -85,7 +85,7 @@ func TestCacheSingleFlight(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		_, cached, err := c.do(ctx, "k", func() (ringmesh.Result, error) {
+		_, cached, err := c.do(ctx, "k", nil, func() (ringmesh.Result, error) {
 			computes++
 			close(entered)
 			<-release
@@ -105,7 +105,7 @@ func TestCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, cached, err := c.do(ctx, "k", func() (ringmesh.Result, error) {
+			r, cached, err := c.do(ctx, "k", nil, func() (ringmesh.Result, error) {
 				t.Error("waiter computed; want coalesced")
 				return ringmesh.Result{}, nil
 			})
@@ -136,7 +136,7 @@ func TestCacheDoesNotStoreErrorsOrStalls(t *testing.T) {
 	ctx := context.Background()
 
 	boom := errors.New("boom")
-	if _, _, err := c.do(ctx, "err", func() (ringmesh.Result, error) { return ringmesh.Result{}, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.do(ctx, "err", nil, func() (ringmesh.Result, error) { return ringmesh.Result{}, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v; want boom", err)
 	}
 	if _, ok := c.get("err"); ok {
@@ -144,7 +144,7 @@ func TestCacheDoesNotStoreErrorsOrStalls(t *testing.T) {
 	}
 
 	stalled := ringmesh.Result{Stalled: true}
-	if _, cached, err := c.do(ctx, "stall", func() (ringmesh.Result, error) { return stalled, nil }); err != nil || cached {
+	if _, cached, err := c.do(ctx, "stall", nil, func() (ringmesh.Result, error) { return stalled, nil }); err != nil || cached {
 		t.Fatalf("stall do = (cached=%v, err=%v)", cached, err)
 	}
 	if _, ok := c.get("stall"); ok {
@@ -159,7 +159,7 @@ func TestCacheWaiterCancellation(t *testing.T) {
 	c := newResultCache(4, nil)
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	go c.do(context.Background(), "k", func() (ringmesh.Result, error) {
+	go c.do(context.Background(), "k", nil, func() (ringmesh.Result, error) {
 		close(entered)
 		<-release
 		return res(1), nil
@@ -168,7 +168,7 @@ func TestCacheWaiterCancellation(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := c.do(ctx, "k", func() (ringmesh.Result, error) { return res(0), nil })
+	_, _, err := c.do(ctx, "k", nil, func() (ringmesh.Result, error) { return res(0), nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v; want context.Canceled", err)
 	}

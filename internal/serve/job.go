@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ringmesh"
+	"ringmesh/internal/obs"
 )
 
 // JobState is a job's lifecycle phase.
@@ -83,6 +85,13 @@ type job struct {
 	totalTicks atomic.Int64
 	pointsDone atomic.Int64
 
+	// tr is the job's lifecycle span timeline (validate, enqueue,
+	// queue-wait, run, cache-store), served at GET /v1/jobs/{id}/trace.
+	tr *obs.Trace
+	// enqueuedAt timestamps queue admission so the executing worker can
+	// reconstruct the queue-wait span and histogram observation.
+	enqueuedAt time.Time
+
 	mu     sync.Mutex
 	state  JobState
 	cached bool
@@ -109,10 +118,18 @@ type JobView struct {
 	Error    *JobError             `json:"error,omitempty"`
 }
 
-// newJob builds a queued job with a completion channel.
-func newJob(id, kind string) *job {
-	return &job{id: id, kind: kind, state: JobQueued, done: make(chan struct{})}
+// newJob builds a queued job with a completion channel and a bounded
+// span timeline.
+func newJob(id, kind string, traceSpans int) *job {
+	return &job{
+		id: id, kind: kind, state: JobQueued,
+		done: make(chan struct{}),
+		tr:   obs.NewTrace(traceSpans),
+	}
 }
+
+// family names the job's topology family for metric labels.
+func (j *job) family() string { return j.cfg.Network }
 
 // progress returns the completed fraction of the job's schedule.
 func (j *job) progress() float64 {

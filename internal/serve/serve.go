@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -12,6 +14,7 @@ import (
 	"ringmesh"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
+	"ringmesh/internal/obs"
 	"ringmesh/internal/pool"
 )
 
@@ -51,6 +54,16 @@ type Options struct {
 	// Registry receives the daemon's instruments and is exported at
 	// /metrics (nil: the server creates a private one).
 	Registry *metrics.Registry
+	// Logger receives structured job-lifecycle events with request and
+	// job IDs (nil: events are discarded).
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof on the
+	// Handler. Off by default: the profile endpoints expose goroutine
+	// stacks and heap contents, so they are opt-in.
+	EnablePprof bool
+	// TraceSpans bounds each job's span timeline; spans past it are
+	// counted as dropped, never silently lost (default 64).
+	TraceSpans int
 }
 
 // Errors the submission path reports; the HTTP layer maps both to 503.
@@ -88,7 +101,20 @@ type Server struct {
 	rateLimited *metrics.Counter
 	completed   *metrics.Counter
 	failed      *metrics.Counter
+
+	log *slog.Logger
+
+	// histMu guards lazy registration of label-fanned histograms
+	// (queue-wait by family, run duration by family and outcome); the
+	// registry itself panics on duplicate registration, so dynamic
+	// label values need a lookup-or-register layer.
+	histMu sync.Mutex
+	hists  map[string]*metrics.Histogram
 }
+
+// secondsBuckets spans 1ms to ~4.4 minutes in x4 steps — wide enough
+// for both queue waits under load and multi-minute simulations.
+var secondsBuckets = metrics.ExpBuckets(0.001, 4, 10)
 
 // New builds a Server and starts its worker pool.
 func New(opt Options) *Server {
@@ -113,6 +139,12 @@ func New(opt Options) *Server {
 	if opt.MaxBody < 1 {
 		opt.MaxBody = 1 << 20
 	}
+	if opt.TraceSpans < 1 {
+		opt.TraceSpans = 64
+	}
+	if opt.Logger == nil {
+		opt.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	reg := opt.Registry
 	if reg == nil {
 		reg = &metrics.Registry{}
@@ -127,6 +159,8 @@ func New(opt Options) *Server {
 		cancel:  cancel,
 		queue:   make(chan *job, opt.QueueDepth),
 		jobs:    map[string]*job{},
+		log:     opt.Logger,
+		hists:   map[string]*metrics.Histogram{},
 
 		accepted:    reg.Counter("ringmeshd_jobs_accepted_total", metrics.Labels{}),
 		rejected:    reg.Counter("ringmeshd_jobs_rejected_total", metrics.Labels{}),
@@ -136,6 +170,23 @@ func New(opt Options) *Server {
 	}
 	reg.Gauge("ringmeshd_queue_depth", metrics.Labels{}, func() float64 {
 		return float64(len(s.queue))
+	})
+	// Go runtime health, sampled at scrape time. ReadMemStats is a
+	// stop-the-world call measured in microseconds — fine at scrape
+	// cadence, which is why these are gauges rather than a background
+	// sampler.
+	reg.Gauge("go_goroutines", metrics.Labels{}, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.Gauge("go_heap_alloc_bytes", metrics.Labels{}, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	reg.Gauge("go_gc_pause_total_seconds", metrics.Labels{}, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.PauseTotalNs) / 1e9
 	})
 	// Split the CPU budget: jobWorkers concurrent jobs, each running
 	// EngineWorkers engine goroutines, stay within opt.Workers total.
@@ -163,6 +214,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		s.log.Info("drain started", "queued", len(s.queue))
 	}
 	s.submitMu.Unlock()
 	done := make(chan struct{})
@@ -172,10 +224,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.Info("drain complete")
 		return nil
 	case <-ctx.Done():
 		s.cancel()
 		<-done
+		s.log.Warn("drain deadline expired; jobs canceled")
 		return ctx.Err()
 	}
 }
@@ -242,8 +296,34 @@ func (s *Server) lookup(id string) (*job, bool) {
 	return j, ok
 }
 
+// histogram returns the registered histogram for (name, labels),
+// registering it on first use. The registry panics on duplicate
+// registration, so every dynamically-labeled series goes through this
+// lookup-or-register layer.
+func (s *Server) histogram(name string, l metrics.Labels) *metrics.Histogram {
+	key := name + l.String()
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	if h, ok := s.hists[key]; ok {
+		return h
+	}
+	h := s.reg.Histogram(name, l, secondsBuckets)
+	s.hists[key] = h
+	return h
+}
+
 // execute runs one job on a pool worker.
 func (s *Server) execute(j *job) {
+	// Reconstruct the queue-wait span: the interval between queue
+	// admission and a worker picking the job up.
+	if !j.enqueuedAt.IsZero() {
+		wait := time.Since(j.enqueuedAt)
+		j.tr.Record(obs.SpanRecord{Name: "queue-wait", Start: j.enqueuedAt, Dur: wait})
+		s.histogram("ringmeshd_job_queue_wait_seconds",
+			metrics.Labels{Family: j.family()}).Observe(wait.Seconds())
+		s.log.Info("job started", "job", j.id, "kind", j.kind,
+			"family", j.family(), "queue_wait", wait)
+	}
 	j.start()
 	ctx := s.baseCtx
 	if s.opt.JobTimeout > 0 {
@@ -251,6 +331,7 @@ func (s *Server) execute(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, s.opt.JobTimeout)
 		defer cancel()
 	}
+	runStart := time.Now()
 	var err error
 	switch j.kind {
 	case "sweep":
@@ -258,17 +339,33 @@ func (s *Server) execute(j *job) {
 	default:
 		err = s.executeRun(ctx, j)
 	}
+	runDur := time.Since(runStart)
+	outcome := "done"
 	if err != nil {
+		outcome = classify(err).Kind
 		s.failed.Inc()
 	} else {
 		s.completed.Inc()
+	}
+	j.tr.Record(obs.SpanRecord{
+		Name: "run", Start: runStart, Dur: runDur,
+		Attrs: []obs.Attr{{Key: "outcome", Value: outcome}},
+	})
+	s.histogram("ringmeshd_job_run_seconds",
+		metrics.Labels{Family: j.family(), Outcome: outcome}).Observe(runDur.Seconds())
+	if err != nil {
+		s.log.Warn("job failed", "job", j.id, "kind", j.kind,
+			"family", j.family(), "outcome", outcome, "dur", runDur, "err", err)
+	} else {
+		s.log.Info("job finished", "job", j.id, "kind", j.kind,
+			"family", j.family(), "dur", runDur)
 	}
 }
 
 // executeRun resolves a single run through the cache (single-flight:
 // concurrent identical jobs simulate once and share the result).
 func (s *Server) executeRun(ctx context.Context, j *job) error {
-	res, cached, err := s.cache.do(ctx, j.key, func() (ringmesh.Result, error) {
+	res, cached, err := s.cache.do(ctx, j.key, j.tr, func() (ringmesh.Result, error) {
 		return s.simulate(ctx, j, j.cfg, j.opt)
 	})
 	if err != nil {
@@ -296,7 +393,7 @@ func (s *Server) executeSweep(ctx context.Context, j *job) error {
 			j.finish(nil, nil, false, err)
 			return err
 		}
-		res, cached, err := s.cache.do(ctx, key, func() (ringmesh.Result, error) {
+		res, cached, err := s.cache.do(ctx, key, j.tr, func() (ringmesh.Result, error) {
 			return s.simulate(ctx, nil, cfg, j.opt)
 		})
 		if err != nil {

@@ -324,14 +324,14 @@ func TestQueueBounds(t *testing.T) {
 	// Constructed directly (no running workers) so the queue state is
 	// deterministic.
 	s := &Server{queue: make(chan *job, 1)}
-	if err := s.enqueue(newJob("a", "run")); err != nil {
+	if err := s.enqueue(newJob("a", "run", 8)); err != nil {
 		t.Fatalf("enqueue into empty queue: %v", err)
 	}
-	if err := s.enqueue(newJob("b", "run")); !errors.Is(err, errQueueFull) {
+	if err := s.enqueue(newJob("b", "run", 8)); !errors.Is(err, errQueueFull) {
 		t.Fatalf("enqueue into full queue = %v; want errQueueFull", err)
 	}
 	s.draining = true
-	if err := s.enqueue(newJob("c", "run")); !errors.Is(err, errDraining) {
+	if err := s.enqueue(newJob("c", "run", 8)); !errors.Is(err, errDraining) {
 		t.Fatalf("enqueue while draining = %v; want errDraining", err)
 	}
 }
@@ -485,7 +485,7 @@ func TestJobRetention(t *testing.T) {
 	s := &Server{jobs: map[string]*job{}}
 	var first string
 	for i := 0; i < jobRetain+10; i++ {
-		j := newJob("", "run")
+		j := newJob("", "run", 8)
 		j.finish(&ringmesh.Result{}, nil, false, nil)
 		s.register(j)
 		if i == 0 {

@@ -28,7 +28,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"ringmesh/internal/obs"
 	"ringmesh/internal/pool"
 )
 
@@ -94,6 +96,9 @@ type ParallelPlan struct {
 	Workers int
 	// Shards run concurrently, block-partitioned over the workers.
 	Shards []Shard
+	// ShardNames labels the shards for phase-timing reports (parallel
+	// to Shards; optional — unnamed shards report by index).
+	ShardNames []string
 	// CommitPhases is the number of barrier-separated commit phases.
 	CommitPhases int
 	// Prologue, when non-nil, runs serially on worker 0 before Compute.
@@ -126,7 +131,35 @@ func (e *Engine) SetParallel(p *ParallelPlan) {
 	}
 	e.plan = p
 	e.shardMoved = make([]int64, len(p.Shards))
+	e.phaseStats = nil // re-enable per plan: shard/worker counts changed
 }
+
+// EnablePhaseStats turns on per-shard phase timing for the installed
+// parallel plan: each worker times its shards' Compute and CommitPhase
+// calls and its own barrier waits. Strictly observation-only — the
+// schedule, and therefore the simulation result, is unchanged — but
+// not free (two clock reads per shard phase), so it is opt-in. No-op
+// without a plan. Returns the accumulator, which is safe to read after
+// Run returns.
+func (e *Engine) EnablePhaseStats() *obs.PhaseStats {
+	if e.plan == nil {
+		return nil
+	}
+	names := e.plan.ShardNames
+	if len(names) != len(e.plan.Shards) {
+		names = make([]string, len(e.plan.Shards))
+		for i := range names {
+			names[i] = fmt.Sprintf("shard%d", i)
+		}
+	}
+	e.phaseStats = obs.NewPhaseStats(names, e.plan.Workers)
+	return e.phaseStats
+}
+
+// PhaseStats returns the phase-timing accumulator (nil unless
+// EnablePhaseStats was called after the current plan was installed).
+// Read only after Run has returned.
+func (e *Engine) PhaseStats() *obs.PhaseStats { return e.phaseStats }
 
 // Parallel reports whether a parallel plan is installed.
 func (e *Engine) Parallel() bool { return e.plan != nil }
@@ -186,6 +219,17 @@ func (e *Engine) runParallel(ticks int64) error {
 		}()
 		f()
 	}
+	// With phase stats enabled, sync records each worker's barrier wait
+	// and the shard loops bracket every phase call with clock reads.
+	// The schedule is identical either way: timing is observation-only.
+	ps := e.phaseStats
+	sync := func(w int) {
+		if ps == nil {
+			e.gang.Sync()
+			return
+		}
+		ps.AddBarrierWait(w, e.gang.SyncTimed())
+	}
 	e.gang.Run(func(w int) {
 		lo, hi := e.shardRange(w)
 		for {
@@ -196,24 +240,36 @@ func (e *Engine) runParallel(ticks int64) error {
 					seg(func() { p.Prologue(e.now) })
 				}
 			}
-			e.gang.Sync()
+			sync(w)
 			if stop.Load() {
 				return
 			}
 			now := e.now
 			seg(func() {
 				for i := lo; i < hi; i++ {
-					p.Shards[i].Compute(now)
+					if ps == nil {
+						p.Shards[i].Compute(now)
+					} else {
+						t0 := time.Now()
+						p.Shards[i].Compute(now)
+						ps.AddCompute(i, time.Since(t0))
+					}
 				}
 			})
-			e.gang.Sync()
+			sync(w)
 			for ph := 0; ph < p.CommitPhases; ph++ {
 				seg(func() {
 					for i := lo; i < hi; i++ {
-						e.shardMoved[i] += int64(p.Shards[i].CommitPhase(ph, now))
+						if ps == nil {
+							e.shardMoved[i] += int64(p.Shards[i].CommitPhase(ph, now))
+						} else {
+							t0 := time.Now()
+							e.shardMoved[i] += int64(p.Shards[i].CommitPhase(ph, now))
+							ps.AddCommit(i, time.Since(t0))
+						}
 					}
 				})
-				e.gang.Sync()
+				sync(w)
 			}
 			if w == 0 && !abort.Load() {
 				seg(func() { runErr = e.finishTick(now) })
@@ -239,6 +295,7 @@ func (e *Engine) finishTick(now int64) error {
 		e.shardMoved[i] = 0
 	}
 	e.progress += moved
+	e.phaseStats.AddTicks(1)
 	if e.plan.Epilogue != nil {
 		e.plan.Epilogue(now)
 	}

@@ -23,6 +23,7 @@ package sim
 import (
 	"fmt"
 
+	"ringmesh/internal/obs"
 	"ringmesh/internal/pool"
 )
 
@@ -101,6 +102,11 @@ type Engine struct {
 	plan       *ParallelPlan
 	gang       *pool.Gang
 	shardMoved []int64
+
+	// phaseStats, when non-nil (EnablePhaseStats), accumulates per-shard
+	// compute/commit durations and per-worker barrier waits during
+	// parallel runs. Observation-only; nil keeps the hot loop untimed.
+	phaseStats *obs.PhaseStats
 }
 
 // ErrStalled is returned by Run when the watchdog detects that no

@@ -1,0 +1,126 @@
+package stats
+
+import "math"
+
+// Digest is a mergeable latency-distribution accumulator: a
+// log-bucketed (power-of-two) histogram paired with a Welford
+// accumulator, sized for the "record everything, summarize at the end"
+// telemetry paths where the value range is unknown up front (span
+// durations in nanoseconds, barrier waits, queue delays). Unlike
+// Histogram, whose fixed-width buckets must be sized to the data, a
+// Digest covers the whole positive float64 range in 64 buckets with a
+// constant relative error, and two Digests can be folded together with
+// Merge — the property sweep aggregation and per-shard telemetry need.
+//
+// The zero value is ready to use. Digest is not synchronized: each
+// writer owns its own and readers merge after the writers are done
+// (the metrics package's Histogram is the concurrency-safe sibling).
+type Digest struct {
+	// counts[i] holds observations in [2^i, 2^(i+1)); values below 1
+	// land in counts[0].
+	counts [64]int64
+	acc    Accumulator
+}
+
+// digestBucket returns the bucket index for x (x >= 0).
+func digestBucket(x float64) int {
+	if x < 1 {
+		return 0
+	}
+	i := int(math.Log2(x))
+	if i < 0 {
+		i = 0
+	}
+	if i > 63 {
+		i = 63
+	}
+	return i
+}
+
+// Add records a value (negative values clamp to zero).
+func (d *Digest) Add(x float64) {
+	if x < 0 {
+		x = 0
+	}
+	d.acc.Add(x)
+	d.counts[digestBucket(x)]++
+}
+
+// Merge folds other into d. Bucket counts add; the summary statistics
+// merge through the accumulators' exact pairwise update.
+func (d *Digest) Merge(other *Digest) {
+	if other == nil {
+		return
+	}
+	for i := range d.counts {
+		d.counts[i] += other.counts[i]
+	}
+	d.acc.Merge(&other.acc)
+}
+
+// Count returns the number of recorded values.
+func (d *Digest) Count() int64 { return d.acc.Count() }
+
+// Mean returns the mean of recorded values.
+func (d *Digest) Mean() float64 { return d.acc.Mean() }
+
+// Min returns the smallest recorded value (0 when empty).
+func (d *Digest) Min() float64 { return d.acc.Min() }
+
+// Max returns the largest recorded value (0 when empty).
+func (d *Digest) Max() float64 { return d.acc.Max() }
+
+// Sum returns the total of recorded values.
+func (d *Digest) Sum() float64 { return d.acc.Mean() * float64(d.acc.Count()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) by locating the
+// bucket holding the target rank and interpolating linearly inside it.
+// The estimate's relative error is bounded by the bucket width (a
+// factor of two); the exact observed Min and Max clamp the tails.
+func (d *Digest) Quantile(q float64) float64 {
+	n := d.acc.Count()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.acc.Min()
+	}
+	if q >= 1 {
+		return d.acc.Max()
+	}
+	target := q * float64(n)
+	var cum float64
+	for i, c := range d.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= target {
+			lo, hi := bucketBounds(i)
+			if lo < d.acc.Min() {
+				lo = d.acc.Min()
+			}
+			if hi > d.acc.Max() {
+				hi = d.acc.Max()
+			}
+			if hi <= lo {
+				return lo
+			}
+			frac := (target - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += float64(c)
+	}
+	return d.acc.Max()
+}
+
+// bucketBounds returns bucket i's value range [lo, hi).
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 2
+	}
+	lo = math.Ldexp(1, i)
+	return lo, 2 * lo
+}
+
+// Reset returns the digest to its zero state.
+func (d *Digest) Reset() { *d = Digest{} }

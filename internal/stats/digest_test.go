@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDigestEmpty(t *testing.T) {
+	var d Digest
+	if d.Count() != 0 || d.Mean() != 0 || d.Quantile(0.5) != 0 {
+		t.Fatalf("zero digest not empty: count=%d mean=%g q50=%g",
+			d.Count(), d.Mean(), d.Quantile(0.5))
+	}
+}
+
+func TestDigestQuantileBounds(t *testing.T) {
+	var d Digest
+	vals := []float64{3, 9, 27, 81, 243, 729}
+	for _, v := range vals {
+		d.Add(v)
+	}
+	if got := d.Quantile(0); got != 3 {
+		t.Errorf("q0 = %g, want exact min 3", got)
+	}
+	if got := d.Quantile(1); got != 729 {
+		t.Errorf("q1 = %g, want exact max 729", got)
+	}
+	// Every quantile must lie within [min, max] and be monotone in q.
+	prev := 0.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := d.Quantile(q)
+		if v < 3 || v > 729 {
+			t.Fatalf("q%.2f = %g outside [3, 729]", q, v)
+		}
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q%.2f = %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestDigestQuantileAccuracy checks the log-bucket estimate stays
+// within one bucket width (a factor of two) of the exact quantile.
+func TestDigestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var d Digest
+	xs := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		// Latency-shaped: a lognormal-ish positive spread.
+		v := math.Exp(rng.NormFloat64()*1.2 + 5)
+		d.Add(v)
+		xs = append(xs, v)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := xs[int(q*float64(len(xs)))-1]
+		got := d.Quantile(q)
+		if got < exact/2 || got > exact*2 {
+			t.Errorf("q%g = %g; exact %g (off by more than a bucket width)", q, got, exact)
+		}
+	}
+}
+
+func TestDigestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, all Digest
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 1000
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), all.Count())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Errorf("merged mean %g != %g", a.Mean(), all.Mean())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged min/max %g/%g != %g/%g", a.Min(), a.Max(), all.Min(), all.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got, want := a.Quantile(q), all.Quantile(q); got != want {
+			t.Errorf("merged q%g = %g != %g", q, got, want)
+		}
+	}
+	// Merging a nil digest is a no-op.
+	before := a.Count()
+	a.Merge(nil)
+	if a.Count() != before {
+		t.Errorf("nil merge changed count")
+	}
+}
+
+func TestDigestNegativeClamp(t *testing.T) {
+	var d Digest
+	d.Add(-5)
+	if d.Min() != 0 || d.Count() != 1 {
+		t.Fatalf("negative not clamped: min=%g count=%d", d.Min(), d.Count())
+	}
+}
+
+func TestDigestReset(t *testing.T) {
+	var d Digest
+	d.Add(42)
+	d.Reset()
+	if d.Count() != 0 || d.Quantile(0.5) != 0 {
+		t.Fatalf("reset digest not empty")
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"ringmesh/internal/fault"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
+	"ringmesh/internal/obs"
 	"ringmesh/internal/sim"
 	"ringmesh/internal/topo"
 	"ringmesh/internal/trace"
@@ -173,6 +174,13 @@ type Config struct {
 	// serial engine for models or configurations that cannot shard, and
 	// whenever Trace is set.
 	Workers int `json:"workers,omitempty"`
+	// PhaseStats, when true together with Workers > 1, times every
+	// shard's compute/commit phases and every worker's barrier waits
+	// (see System.PhaseStats) — the shard-imbalance evidence for the
+	// parallel engine. Observation-only like Metrics: results are
+	// bit-identical with it on or off, and it never enters result
+	// cache keys (see CacheKey). Ignored on the serial path.
+	PhaseStats bool `json:"phase_stats,omitempty"`
 }
 
 // RingConfig describes a hierarchical-ring system.
@@ -342,10 +350,12 @@ type Result struct {
 	Issued    int64 `json:"issued"`
 	Completed int64 `json:"completed"`
 	Local     int64 `json:"local"`
-	// LatencyP50, LatencyP95 and LatencyMax describe the latency
-	// distribution when Histogram was requested (zero otherwise).
+	// LatencyP50, LatencyP95, LatencyP99 and LatencyMax describe the
+	// latency distribution when Histogram was requested (zero
+	// otherwise).
 	LatencyP50 float64 `json:"latency_p50,omitempty"`
 	LatencyP95 float64 `json:"latency_p95,omitempty"`
+	LatencyP99 float64 `json:"latency_p99,omitempty"`
 	LatencyMax float64 `json:"latency_max,omitempty"`
 	// BatchesCorrelated flags strong autocorrelation among batch
 	// means: lengthen BatchCycles before trusting LatencyCI95.
@@ -424,6 +434,7 @@ func fromCore(r core.Result) Result {
 		Local:             r.Local,
 		LatencyP50:        r.LatencyP50,
 		LatencyP95:        r.LatencyP95,
+		LatencyP99:        r.LatencyP99,
 		LatencyMax:        r.LatencyMax,
 		BatchesCorrelated: r.BatchesCorrelated,
 		Saturated:         r.Saturated,
@@ -529,6 +540,7 @@ func NewSystem(cfg Config) (*System, error) {
 		MetricsInterval: interval,
 		FaultPlan:       plan,
 		Workers:         cfg.Workers,
+		PhaseStats:      cfg.PhaseStats,
 	})
 	if err != nil {
 		return nil, err
@@ -575,6 +587,14 @@ func (s *System) StepCycles(n int64) error { return s.inner.StepCycles(n) }
 // (Config.Workers > 1 and the model produced an ownership partition);
 // false means the exact serial path runs.
 func (s *System) Parallel() bool { return s.inner.Engine().Parallel() }
+
+// PhaseStats returns the parallel engine's phase-timing accumulator:
+// per-shard compute/commit durations and per-worker barrier-wait
+// distributions. Nil unless the system was built with Workers > 1 and
+// Config.PhaseStats and the model partitioned itself. Read it only
+// after a run has completed (the accumulator is unsynchronized by
+// design).
+func (s *System) PhaseStats() *obs.PhaseStats { return s.inner.PhaseStats() }
 
 // Close releases the engine's worker goroutines (parallel mode; no-op
 // otherwise). Run and RunContext already release them on return, so
