@@ -6,8 +6,19 @@
 # assert the second is answered from the result cache — including a
 # resubmission with a different "workers" value, which must still hit
 # (the cache key ignores the execution-only Workers field) — fetch the
-# job's lifecycle trace, then shut down gracefully with SIGTERM. No
-# dependencies beyond curl and the Go toolchain.
+# job's lifecycle trace, then shut down gracefully with SIGTERM.
+#
+# Then the two resilience claims, end to end:
+#   - durability: boot with -cache-dir, kill -9 mid-load, restart over
+#     the same directory, and prove the pre-crash result is served
+#     from the disk tier (the cache-hit counters are the proof, not
+#     wall-clock);
+#   - partial failure: boot a 1-coordinator/2-worker trio, kill the
+#     workers mid-sweep, and prove the response is a partial-success
+#     merge (completed points + structured point_errors + degraded),
+#     with retries and breaker trips visible on /metrics.
+#
+# No dependencies beyond curl and the Go toolchain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -113,4 +124,178 @@ if [ "$rc" -ne 0 ]; then
   echo "FAIL: ringmeshd exited $rc on SIGTERM"; cat "$log"; exit 1
 fi
 
-echo "PASS: ringmeshd smoke ($base, job $id cached on resubmission)"
+echo "PASS: ringmeshd basic smoke ($base, job $id cached on resubmission)"
+
+# ---------------------------------------------------------------------
+# Shared helpers for the multi-daemon stages below.
+
+pids=()
+cleanup_all() { for p in "${pids[@]}"; do kill -9 "$p" 2>/dev/null || true; done; }
+trap cleanup_all EXIT
+
+# boot LOGFILE ARGS... starts a daemon (in this shell, so wait works),
+# registers it for cleanup, and reports it via BOOT_PID / BOOT_ADDR.
+boot() {
+  local blog=$1; shift
+  "$bin" -addr 127.0.0.1:0 "$@" >"$blog" 2>&1 &
+  BOOT_PID=$!
+  pids+=("$BOOT_PID")
+  BOOT_ADDR=""
+  for _ in $(seq 1 100); do
+    BOOT_ADDR=$(sed -n 's/.*msg=listening addr=\([0-9.:]*\).*/\1/p' "$blog" | head -n 1)
+    [ -n "$BOOT_ADDR" ] && break
+    sleep 0.1
+  done
+  if [ -z "$BOOT_ADDR" ]; then
+    echo "FAIL: daemon did not start"; cat "$blog"; exit 1
+  fi
+}
+
+# await BASE ID polls a job to "done", failing the script otherwise.
+await() {
+  local d=""
+  for _ in $(seq 1 300); do
+    d=$(curl -fsS "$1/v1/jobs/$2" | tr -d '[:space:]')
+    case "$d" in
+      *'"state":"done"'*) printf '%s' "$d"; return 0 ;;
+      *'"state":"failed"'*) echo "FAIL: job $2 failed: $d" >&2; exit 1 ;;
+    esac
+    sleep 0.1
+  done
+  echo "FAIL: job $2 never finished: $d" >&2; exit 1
+}
+
+submit_id() { # submit_id BASE BODY -> job id
+  local r
+  r=$(curl -fsS -X POST "$1/v1/runs" -d "$2" | tr -d '[:space:]')
+  printf '%s' "$r" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'
+}
+
+# ---------------------------------------------------------------------
+# Stage 2: durability across kill -9. Compute a result with the disk
+# tier on, crash the daemon without ceremony while a second job is
+# mid-load, restart over the same directory, and demand the pre-crash
+# key is a disk hit — zero recomputation, proven by counters.
+
+cachedir=$(mktemp -d)
+dlog1=$(mktemp)
+boot "$dlog1" -cache-dir "$cachedir"
+dpid1=$BOOT_PID; dbase1="http://$BOOT_ADDR"
+
+durable='{"config":{"network":"mesh","nodes":16,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":7},"options":{"warmup_cycles":500,"batch_cycles":500,"batches":2}}'
+did=$(submit_id "$dbase1" "$durable")
+[ -n "$did" ] || { echo "FAIL: no job id from durable daemon"; exit 1; }
+await "$dbase1" "$did" >/dev/null
+
+# The result must already be on disk (write-through before completion).
+ls "$cachedir"/*.rmr >/dev/null 2>&1 \
+  || { echo "FAIL: no durable entry after completed job"; ls -la "$cachedir"; exit 1; }
+
+# Put the daemon under load and kill it mid-job: -9, no drain, no
+# flushing — the atomic-rename protocol must already have made the
+# completed result safe.
+heavy='{"config":{"network":"mesh","nodes":256,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":8},"options":{"warmup_cycles":20000,"batch_cycles":20000,"batches":8}}'
+curl -fsS -X POST "$dbase1/v1/runs" -d "$heavy" -o /dev/null
+kill -9 "$dpid1"
+wait "$dpid1" 2>/dev/null || true
+
+dlog2=$(mktemp)
+boot "$dlog2" -cache-dir "$cachedir"
+dpid2=$BOOT_PID; dbase2="http://$BOOT_ADDR"
+
+replay=$(curl -fsS -X POST "$dbase2/v1/runs" -d "$durable" | tr -d '[:space:]')
+case "$replay" in
+  *'"cached":true'*'"state":"done"'*|*'"state":"done"'*'"cached":true'*) ;;
+  *) echo "FAIL: pre-crash result not served after restart: $replay"; exit 1 ;;
+esac
+dmetrics=$(curl -fsS "$dbase2/metrics")
+echo "$dmetrics" | grep -q '^ringmeshd_disk_cache_hits_total 1$' \
+  || { echo "FAIL: restart hit not served from the disk tier:"; echo "$dmetrics" | grep disk_cache; exit 1; }
+echo "$dmetrics" | grep -q '^ringmeshd_cache_misses_total 0$' \
+  || { echo "FAIL: restart caused a recompute:"; echo "$dmetrics" | grep cache_misses; exit 1; }
+kill -TERM "$dpid2"; wait "$dpid2" || { echo "FAIL: durable daemon exited dirty"; exit 1; }
+
+echo "PASS: durability smoke (kill -9 survived; restart served job from disk, 0 misses)"
+
+# ---------------------------------------------------------------------
+# Stage 3: coordinator partial failure. A 1-coordinator/2-worker trio
+# runs a sweep; both workers are killed -9 mid-sweep. The merged
+# response must carry every completed point plus structured errors for
+# the rest — degraded, not void — with the retry/breaker machinery
+# visible on /metrics.
+
+wlog1=$(mktemp); wlog2=$(mktemp); clog=$(mktemp)
+boot "$wlog1"
+wpid1=$BOOT_PID; waddr1=$BOOT_ADDR
+boot "$wlog2"
+wpid2=$BOOT_PID; waddr2=$BOOT_ADDR
+boot "$clog" -coordinator -worker-addrs "$waddr1,$waddr2"
+cpid=$BOOT_PID; cbase="http://$BOOT_ADDR"
+
+# Small sizes first (they complete before the kill), big sizes last
+# (they are still in flight when the workers die).
+sweep='{"config":{"network":"mesh","line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":9},"options":{"warmup_cycles":4000,"batch_cycles":4000,"batches":6},"sizes":[16,36,64,100,400,576,784,900]}'
+sres=$(curl -fsS -X POST "$cbase/v1/sweeps" -d "$sweep" | tr -d '[:space:]')
+sid=$(printf '%s' "$sres" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$sid" ] || { echo "FAIL: no sweep id: $sres"; exit 1; }
+
+# Wait until at least one point has completed, then kill the fleet.
+progressed=""
+for _ in $(seq 1 300); do
+  sdoc=$(curl -fsS "$cbase/v1/jobs/$sid" | tr -d '[:space:]')
+  case "$sdoc" in
+    *'"progress":0,'*|*'"progress":0}'*) sleep 0.1 ;;
+    *) progressed=yes; break ;;
+  esac
+done
+[ -n "$progressed" ] || { echo "FAIL: sweep made no progress: $sdoc"; exit 1; }
+kill -9 "$wpid1" "$wpid2"
+{ wait "$wpid1" "$wpid2"; } 2>/dev/null || true
+
+# The sweep must still terminate "done" — degraded, with the
+# completed points merged in and the dead points classified.
+sfinal=""
+for _ in $(seq 1 600); do
+  sfinal=$(curl -fsS "$cbase/v1/jobs/$sid" | tr -d '[:space:]')
+  case "$sfinal" in
+    *'"state":"done"'*|*'"state":"failed"'*) break ;;
+  esac
+  sleep 0.1
+done
+case "$sfinal" in
+  *'"state":"done"'*) ;;
+  *) echo "FAIL: sweep did not merge after worker loss: $sfinal"; exit 1 ;;
+esac
+case "$sfinal" in
+  *'"degraded":true'*) ;;
+  *) echo "FAIL: sweep not marked degraded: $sfinal"; exit 1 ;;
+esac
+case "$sfinal" in
+  *'"points":['*'"nodes":16'*) ;;
+  *) echo "FAIL: completed points missing from merged response: $sfinal"; exit 1 ;;
+esac
+case "$sfinal" in
+  *'"point_errors":['*'"kind":'*) ;;
+  *) echo "FAIL: no structured per-point errors: $sfinal"; exit 1 ;;
+esac
+
+cmetrics=$(curl -fsS "$cbase/metrics")
+echo "$cmetrics" | grep -q '^ringmeshd_coord_retries_total [1-9]' \
+  || { echo "FAIL: no retries recorded:"; echo "$cmetrics" | grep coord; exit 1; }
+echo "$cmetrics" | grep -q '^ringmeshd_coord_breaker_trips_total [1-9]' \
+  || { echo "FAIL: no breaker trips recorded:"; echo "$cmetrics" | grep coord; exit 1; }
+echo "$cmetrics" | grep -q '^ringmeshd_coord_points_failed_total [1-9]' \
+  || { echo "FAIL: no failed points recorded:"; echo "$cmetrics" | grep coord; exit 1; }
+
+# Dispatch attempts (including retries against the dead fleet) are
+# visible in the sweep's trace.
+strace=$(curl -fsS "$cbase/v1/jobs/$sid/trace")
+case "$strace" in
+  *'"dispatch"'*) ;;
+  *) echo "FAIL: no dispatch spans in sweep trace"; exit 1 ;;
+esac
+
+kill -TERM "$cpid"; wait "$cpid" || { echo "FAIL: coordinator exited dirty"; exit 1; }
+
+echo "PASS: coordinator smoke (fleet killed mid-sweep; merged degraded response with retries+breaker trips)"
+echo "PASS: ringmeshd smoke"

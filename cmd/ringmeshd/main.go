@@ -12,6 +12,18 @@
 // Endpoints: POST /v1/runs, POST /v1/sweeps, GET /v1/jobs/{id}
 // (?watch=1 for SSE), GET /healthz, GET /metrics.
 //
+// Durability: -cache-dir adds a disk tier under the in-memory result
+// cache (checksummed files, atomic renames), so results survive
+// restarts — even kill -9 — and N replicas can share one mounted
+// directory.
+//
+// Coordinator mode: -coordinator -worker-addrs=h1:8080,h2:8080 fans
+// jobs out to worker daemons over the same HTTP API instead of
+// simulating locally, with bounded retries, hedged dispatches for
+// slow points, per-worker circuit breakers re-admitted via health
+// probes, and degraded sweep responses (completed points plus a
+// structured per-point error report) when replicas die mid-sweep.
+//
 // SIGINT/SIGTERM drain gracefully: new submissions get 503 while
 // queued and in-flight jobs finish (bounded by -drain-timeout), then
 // the listener closes. Exit codes: 0 clean shutdown, 1 runtime
@@ -48,6 +60,9 @@ func main() {
 		engineW      = flag.Int("engine-workers", 1, "parallel tick workers per job (1 = serial engine; the job pool shrinks to workers/engine-workers)")
 		queue        = flag.Int("queue", 64, "pending job bound; submissions past it get 503")
 		cacheEntries = flag.Int("cache-entries", 256, "result cache bound (LRU)")
+		cacheDir     = flag.String("cache-dir", "", "durable disk cache directory; results survive restarts and may be shared by replicas (empty = memory only)")
+		coord        = flag.Bool("coordinator", false, "coordinator mode: fan jobs out to -worker-addrs instead of simulating locally")
+		workerAddrs  = flag.String("worker-addrs", "", "comma-separated worker base URLs for -coordinator, e.g. http://h1:8080,http://h2:8080")
 		rate         = flag.Float64("rate", 0, "per-client request rate limit in req/s (0 = off)")
 		burst        = flag.Int("burst", 0, "per-client burst size (0 = 2x rate)")
 		maxBody      = flag.Int64("max-body", 1<<20, "request body bound in bytes")
@@ -63,6 +78,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
 		os.Exit(2)
 	}
+	addrsList, err := parseWorkerAddrs(*coord, *workerAddrs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
+		os.Exit(2)
+	}
 	level, err := parseLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
@@ -70,11 +90,13 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	srv := serve.New(serve.Options{
+	srv, err := serve.New(serve.Options{
 		Workers:       *workers,
 		EngineWorkers: *engineW,
 		QueueDepth:    *queue,
 		CacheEntries:  *cacheEntries,
+		CacheDir:      *cacheDir,
+		WorkerAddrs:   addrsList,
 		Rate:          *rate,
 		Burst:         *burst,
 		MaxBody:       *maxBody,
@@ -82,13 +104,18 @@ func main() {
 		Logger:        logger,
 		EnablePprof:   *pprofOn,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
+		os.Exit(2)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
 		os.Exit(1)
 	}
-	logger.Info("listening", "addr", ln.Addr().String(), "pprof", *pprofOn)
+	logger.Info("listening", "addr", ln.Addr().String(), "pprof", *pprofOn,
+		"cache_dir", *cacheDir, "coordinator", *coord, "workers", len(addrsList))
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -123,6 +150,32 @@ func main() {
 	}
 	logger.Info("stopped")
 	os.Exit(code)
+}
+
+// parseWorkerAddrs validates the coordinator flag pair and splits the
+// worker list, defaulting bare host:port entries to http://.
+func parseWorkerAddrs(coordinator bool, addrs string) ([]string, error) {
+	if !coordinator && addrs == "" {
+		return nil, nil
+	}
+	if coordinator != (addrs != "") {
+		return nil, fmt.Errorf("-coordinator and -worker-addrs must be used together")
+	}
+	var out []string
+	for _, a := range strings.Split(addrs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.HasPrefix(a, "http://") && !strings.HasPrefix(a, "https://") {
+			a = "http://" + a
+		}
+		out = append(out, strings.TrimRight(a, "/"))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-worker-addrs %q names no workers", addrs)
+	}
+	return out, nil
 }
 
 // parseLevel maps the -log-level flag onto slog levels.

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// clockBreaker returns a breaker on an injectable clock the test can
+// advance.
+func clockBreaker(threshold int, cooldown time.Duration) (*breaker, *time.Time) {
+	now := time.Unix(0, 0)
+	b := newBreaker(threshold, cooldown)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := clockBreaker(3, time.Minute)
+	if !b.admitted() {
+		t.Fatal("new breaker not admitted")
+	}
+	if b.failure() || b.failure() {
+		t.Fatal("tripped before the threshold")
+	}
+	if !b.admitted() {
+		t.Fatal("ejected before the threshold")
+	}
+	if !b.failure() {
+		t.Fatal("threshold failure did not report the trip")
+	}
+	if b.admitted() {
+		t.Fatal("still admitted after tripping")
+	}
+	// Further failures while open never report a second trip — the
+	// caller counts trips off this return value.
+	if b.failure() {
+		t.Fatal("open breaker reported a trip")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := clockBreaker(3, time.Minute)
+	b.failure()
+	b.failure()
+	b.success()
+	if b.failure() || b.failure() {
+		t.Fatal("streak survived a success")
+	}
+	if !b.failure() {
+		t.Fatal("did not trip after a fresh streak")
+	}
+}
+
+// TestBreakerProbeCycle walks the re-admission protocol: no probe
+// before the cooldown, a failed probe restarts the cooldown, a
+// successful probe closes the breaker.
+func TestBreakerProbeCycle(t *testing.T) {
+	b, now := clockBreaker(1, 10*time.Second)
+	b.failure()
+
+	if b.probeDue() {
+		t.Fatal("probe due before the cooldown")
+	}
+	*now = now.Add(11 * time.Second)
+	if !b.probeDue() {
+		t.Fatal("probe not due after the cooldown")
+	}
+
+	// A failed probe keeps it open and restarts the cooldown.
+	if b.probeResult(false) {
+		t.Fatal("failed probe re-admitted")
+	}
+	if b.admitted() || b.probeDue() {
+		t.Fatal("failed probe did not restart the cooldown")
+	}
+
+	*now = now.Add(11 * time.Second)
+	if !b.probeDue() {
+		t.Fatal("probe not due after the restarted cooldown")
+	}
+	if !b.probeResult(true) {
+		t.Fatal("healthy probe did not report re-admission")
+	}
+	if !b.admitted() {
+		t.Fatal("not admitted after a healthy probe")
+	}
+	// Re-admission is reported exactly once; probing a closed breaker
+	// is a no-op.
+	if b.probeResult(true) {
+		t.Fatal("closed breaker reported a re-admission")
+	}
+}

@@ -14,6 +14,7 @@ package serve
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -53,16 +54,24 @@ type resultCache struct {
 	entries  map[string]*list.Element // value: *cacheEntry
 	inflight map[string]*flight
 
+	// disk is the optional durable tier (nil: memory only). Memory
+	// misses fall through to it, and freshly-computed results are
+	// written through, so results survive restarts and N replicas can
+	// share one mounted directory.
+	disk *diskStore
+
 	hits      *metrics.Counter
 	misses    *metrics.Counter
 	coalesced *metrics.Counter
 	evictions *metrics.Counter
+	promoted  *metrics.Counter
 }
 
-// newResultCache returns a cache bounded to max entries (min 1),
-// registering its counters and size gauge in reg (nil disables
-// instrumentation; the cache still works).
-func newResultCache(max int, reg *metrics.Registry) *resultCache {
+// newResultCache returns a cache bounded to max entries (min 1) over
+// the optional durable tier disk (nil: memory only), registering its
+// counters and size gauge in reg (nil disables instrumentation; the
+// cache still works).
+func newResultCache(max int, disk *diskStore, reg *metrics.Registry) *resultCache {
 	if max < 1 {
 		max = 1
 	}
@@ -71,10 +80,12 @@ func newResultCache(max int, reg *metrics.Registry) *resultCache {
 		order:     list.New(),
 		entries:   map[string]*list.Element{},
 		inflight:  map[string]*flight{},
+		disk:      disk,
 		hits:      reg.Counter("ringmeshd_cache_hits_total", metrics.Labels{}),
 		misses:    reg.Counter("ringmeshd_cache_misses_total", metrics.Labels{}),
 		coalesced: reg.Counter("ringmeshd_cache_coalesced_total", metrics.Labels{}),
 		evictions: reg.Counter("ringmeshd_cache_evictions_total", metrics.Labels{}),
+		promoted:  reg.Counter("ringmeshd_cache_leader_promotions_total", metrics.Labels{}),
 	}
 	if reg != nil {
 		reg.Gauge("ringmeshd_cache_entries", metrics.Labels{}, func() float64 {
@@ -92,17 +103,53 @@ func newResultCache(max int, reg *metrics.Registry) *resultCache {
 }
 
 // get probes the cache without computing — the submission-time check
-// that lets a hit complete a job before it is ever queued.
+// that lets a hit complete a job before it is ever queued. A memory
+// miss falls through to the durable tier; a disk hit is folded back
+// into the LRU so subsequent probes stay off the filesystem.
 func (c *resultCache) get(key string) (ringmesh.Result, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits.Inc()
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+	if res, ok := c.loadDisk(key); ok {
+		return res, true
+	}
+	return ringmesh.Result{}, false
+}
+
+// loadDisk probes the durable tier (outside c.mu: file I/O must not
+// block unrelated keys) and folds a hit into the memory LRU. Two
+// goroutines racing here both read identical bytes; insertLocked
+// handles the benign double-insert.
+func (c *resultCache) loadDisk(key string) (ringmesh.Result, bool) {
+	if c.disk == nil {
+		return ringmesh.Result{}, false
+	}
+	res, ok := c.disk.load(key)
 	if !ok {
 		return ringmesh.Result{}, false
 	}
-	c.order.MoveToFront(el)
+	c.mu.Lock()
+	c.insertLocked(key, res)
+	c.mu.Unlock()
 	c.hits.Inc()
-	return el.Value.(*cacheEntry).res, true
+	return res, true
+}
+
+// retryableLeaderErr reports whether a single-flight leader's failure
+// is attempt-scoped — its context was canceled or its wall-clock
+// budget ran out — rather than a property of the inputs. A waiter
+// whose own context is still live should not inherit such an error:
+// it re-contends for leadership and computes with its own budget.
+func retryableLeaderErr(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ringmesh.ErrTimeout)
 }
 
 // do returns the cached result for key, or computes it exactly once
@@ -113,31 +160,60 @@ func (c *resultCache) get(key string) (ringmesh.Result, bool) {
 // successful computation. tr (nil ok) receives a cache-store span
 // when a leader's freshly-computed result is inserted.
 func (c *resultCache) do(ctx context.Context, key string, tr *obs.Trace, compute func() (ringmesh.Result, error)) (ringmesh.Result, bool, error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits.Inc()
-		res := el.Value.(*cacheEntry).res
+	var f *flight
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			c.hits.Inc()
+			res := el.Value.(*cacheEntry).res
+			c.mu.Unlock()
+			return res, true, nil
+		}
+		if lf, ok := c.inflight[key]; ok {
+			c.coalesced.Inc()
+			c.mu.Unlock()
+			select {
+			case <-lf.done:
+				if lf.err == nil {
+					return lf.res, true, nil
+				}
+				// A deterministic failure (bad config, stall, model
+				// panic) is shared: same inputs, same outcome. But an
+				// attempt-scoped failure — the leader's context died or
+				// its wall-clock budget ran out — says nothing about this
+				// waiter's prospects while its own context is live, so it
+				// loops back to re-contend; the first waiter through
+				// becomes the new leader and computes under its own
+				// budget.
+				if retryableLeaderErr(lf.err) && ctx.Err() == nil {
+					c.promoted.Inc()
+					continue
+				}
+				return lf.res, false, lf.err
+			case <-ctx.Done():
+				return ringmesh.Result{}, false, ctx.Err()
+			}
+		}
+		f = &flight{done: make(chan struct{})}
+		c.inflight[key] = f
 		c.mu.Unlock()
+		break
+	}
+
+	// Leader path. The durable tier is probed after flight
+	// registration so concurrent requests coalesce onto one disk read,
+	// and outside c.mu so file I/O never blocks unrelated keys.
+	if res, ok := c.loadDisk(key); ok {
+		f.res = res
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(f.done)
 		return res, true, nil
 	}
-	if f, ok := c.inflight[key]; ok {
-		c.coalesced.Inc()
-		c.mu.Unlock()
-		select {
-		case <-f.done:
-			// A leader error is shared too (same inputs, same failure
-			// class) but is not a replayed result.
-			return f.res, f.err == nil, f.err
-		case <-ctx.Done():
-			return ringmesh.Result{}, false, ctx.Err()
-		}
-	}
-	c.misses.Inc()
-	f := &flight{done: make(chan struct{})}
-	c.inflight[key] = f
-	c.mu.Unlock()
 
+	c.misses.Inc()
 	f.res, f.err = compute()
 
 	storeStart := time.Now()
@@ -149,6 +225,11 @@ func (c *resultCache) do(ctx context.Context, key string, tr *obs.Trace, compute
 		stored = true
 	}
 	c.mu.Unlock()
+	if stored && c.disk != nil {
+		// Write-through before waiters wake: once anyone observes the
+		// result, it is already durable.
+		c.disk.store(key, f.res)
+	}
 	close(f.done)
 	if stored {
 		tr.Record(obs.SpanRecord{

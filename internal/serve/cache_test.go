@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"ringmesh"
 	"ringmesh/internal/metrics"
@@ -16,7 +17,7 @@ func res(latency float64) ringmesh.Result {
 
 func TestCacheHitAfterCompute(t *testing.T) {
 	reg := &metrics.Registry{}
-	c := newResultCache(4, reg)
+	c := newResultCache(4, nil, reg)
 	ctx := context.Background()
 
 	computes := 0
@@ -42,7 +43,7 @@ func TestCacheHitAfterCompute(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2, nil)
+	c := newResultCache(2, nil, nil)
 	ctx := context.Background()
 	for i, k := range []string{"a", "b", "c"} {
 		v := float64(i)
@@ -76,7 +77,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheSingleFlight(t *testing.T) {
-	c := newResultCache(4, nil)
+	c := newResultCache(4, nil, nil)
 	ctx := context.Background()
 
 	entered := make(chan struct{})
@@ -132,7 +133,7 @@ func TestCacheSingleFlight(t *testing.T) {
 }
 
 func TestCacheDoesNotStoreErrorsOrStalls(t *testing.T) {
-	c := newResultCache(4, nil)
+	c := newResultCache(4, nil, nil)
 	ctx := context.Background()
 
 	boom := errors.New("boom")
@@ -155,8 +156,158 @@ func TestCacheDoesNotStoreErrorsOrStalls(t *testing.T) {
 	}
 }
 
+// waitForCount polls until the counter reaches want, failing the test
+// after a generous deadline. Used where a test must know a waiter has
+// joined a flight before poking the leader.
+func waitForCount(t *testing.T, c *metrics.Counter, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Value() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter stuck at %d; want %d", c.Value(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCacheWaiterPromotedOnRetryableLeaderFailure pins the
+// single-flight failure contract: a leader that dies of an
+// attempt-scoped cause (its context was canceled, its deadline passed,
+// its wall-clock budget ran out) must not poison its waiters — a
+// waiter with a live context is promoted to new leader and computes
+// under its own budget.
+func TestCacheWaiterPromotedOnRetryableLeaderFailure(t *testing.T) {
+	for _, leaderErr := range []error{context.Canceled, context.DeadlineExceeded, ringmesh.ErrTimeout} {
+		t.Run(leaderErr.Error(), func(t *testing.T) {
+			reg := &metrics.Registry{}
+			c := newResultCache(4, nil, reg)
+			entered := make(chan struct{})
+			release := make(chan struct{})
+
+			leaderDone := make(chan error, 1)
+			go func() {
+				_, _, err := c.do(context.Background(), "k", nil, func() (ringmesh.Result, error) {
+					close(entered)
+					<-release
+					return ringmesh.Result{}, leaderErr
+				})
+				leaderDone <- err
+			}()
+			<-entered
+
+			waiterDone := make(chan struct{})
+			var (
+				r      ringmesh.Result
+				cached bool
+				werr   error
+			)
+			go func() {
+				defer close(waiterDone)
+				r, cached, werr = c.do(context.Background(), "k", nil, func() (ringmesh.Result, error) {
+					return res(42), nil
+				})
+			}()
+			// Only release the leader once the waiter is provably parked on
+			// its flight; otherwise the waiter might arrive after the
+			// failure and compute without ever being promoted.
+			waitForCount(t, c.coalesced, 1)
+			close(release)
+
+			if err := <-leaderDone; !errors.Is(err, leaderErr) {
+				t.Fatalf("leader err = %v; want %v", err, leaderErr)
+			}
+			<-waiterDone
+			if werr != nil || cached || r.LatencyCycles != 42 {
+				t.Fatalf("promoted waiter = (%v, cached=%v, err=%v); want fresh 42", r.LatencyCycles, cached, werr)
+			}
+			if c.promoted.Value() != 1 {
+				t.Fatalf("promotions = %d; want 1", c.promoted.Value())
+			}
+			// The promoted waiter's result is cached for everyone after.
+			if _, ok := c.get("k"); !ok {
+				t.Fatal("promoted result not cached")
+			}
+		})
+	}
+}
+
+// TestCacheWaiterInheritsDeterministicFailure is the other half of the
+// contract: a failure that is a property of the inputs (same config,
+// same outcome on any retry) is shared with waiters — no promotion, no
+// wasted recompute.
+func TestCacheWaiterInheritsDeterministicFailure(t *testing.T) {
+	reg := &metrics.Registry{}
+	c := newResultCache(4, nil, reg)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	boom := errors.New("model panic")
+
+	go c.do(context.Background(), "k", nil, func() (ringmesh.Result, error) {
+		close(entered)
+		<-release
+		return ringmesh.Result{}, boom
+	})
+	<-entered
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(context.Background(), "k", nil, func() (ringmesh.Result, error) {
+			t.Error("waiter recomputed a deterministic failure")
+			return ringmesh.Result{}, nil
+		})
+		waiterDone <- err
+	}()
+	waitForCount(t, c.coalesced, 1)
+	close(release)
+
+	if err := <-waiterDone; !errors.Is(err, boom) {
+		t.Fatalf("waiter err = %v; want the leader's %v", err, boom)
+	}
+	if c.promoted.Value() != 0 {
+		t.Fatalf("promotions = %d; want 0", c.promoted.Value())
+	}
+}
+
+// TestCacheDeadWaiterNotPromoted: a waiter whose own context is
+// already done when the leader fails retryably must not be promoted —
+// it has no budget to compute under. It gets an error (its own or the
+// leader's; both are honest) and goes away.
+func TestCacheDeadWaiterNotPromoted(t *testing.T) {
+	reg := &metrics.Registry{}
+	c := newResultCache(4, nil, reg)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	go c.do(context.Background(), "k", nil, func() (ringmesh.Result, error) {
+		close(entered)
+		<-release
+		return ringmesh.Result{}, ringmesh.ErrTimeout
+	})
+	<-entered
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(wctx, "k", nil, func() (ringmesh.Result, error) {
+			t.Error("dead waiter computed")
+			return ringmesh.Result{}, nil
+		})
+		waiterDone <- err
+	}()
+	waitForCount(t, c.coalesced, 1)
+	wcancel()
+	close(release)
+
+	if err := <-waiterDone; err == nil {
+		t.Fatal("dead waiter got a nil error")
+	}
+	if c.promoted.Value() != 0 {
+		t.Fatalf("promotions = %d; want 0", c.promoted.Value())
+	}
+}
+
 func TestCacheWaiterCancellation(t *testing.T) {
-	c := newResultCache(4, nil)
+	c := newResultCache(4, nil, nil)
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	go c.do(context.Background(), "k", nil, func() (ringmesh.Result, error) {

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -68,6 +69,15 @@ func classify(err error) *JobError {
 	return je
 }
 
+// PointError is one failed point in a coordinated sweep's structured
+// error report: the size that failed and its classified error. The
+// sweep's completed points ride alongside in Points — a partial
+// failure degrades the response, it does not void it.
+type PointError struct {
+	Nodes int       `json:"nodes"`
+	Error *JobError `json:"error"`
+}
+
 // job is one accepted unit of work: a single run or a size sweep.
 type job struct {
 	id    string
@@ -92,13 +102,15 @@ type job struct {
 	// reconstruct the queue-wait span and histogram observation.
 	enqueuedAt time.Time
 
-	mu     sync.Mutex
-	state  JobState
-	cached bool
-	result *ringmesh.Result
-	points []ringmesh.SweepPoint
-	errObj *JobError
-	done   chan struct{} // closed on completion (done or failed)
+	mu        sync.Mutex
+	state     JobState
+	cached    bool
+	degraded  bool
+	result    *ringmesh.Result
+	points    []ringmesh.SweepPoint
+	pointErrs []PointError
+	errObj    *JobError
+	done      chan struct{} // closed on completion (done or failed)
 }
 
 // JobView is the job document served by GET /v1/jobs/{id} and
@@ -115,7 +127,12 @@ type JobView struct {
 	Progress float64               `json:"progress"`
 	Result   *ringmesh.Result      `json:"result,omitempty"`
 	Points   []ringmesh.SweepPoint `json:"points,omitempty"`
-	Error    *JobError             `json:"error,omitempty"`
+	// Degraded marks a coordinated sweep that completed with some
+	// points missing: Points holds every size that succeeded,
+	// PointErrors classifies every size that did not.
+	Degraded    bool         `json:"degraded,omitempty"`
+	PointErrors []PointError `json:"point_errors,omitempty"`
+	Error       *JobError    `json:"error,omitempty"`
 }
 
 // newJob builds a queued job with a completion channel and a bounded
@@ -169,6 +186,7 @@ func (j *job) view() JobView {
 		Kind:     j.kind,
 		State:    j.state,
 		Cached:   j.cached,
+		Degraded: j.degraded,
 		Progress: p,
 		Error:    j.errObj,
 	}
@@ -178,6 +196,9 @@ func (j *job) view() JobView {
 	}
 	if j.points != nil {
 		v.Points = append([]ringmesh.SweepPoint(nil), j.points...)
+	}
+	if j.pointErrs != nil {
+		v.PointErrors = append([]PointError(nil), j.pointErrs...)
 	}
 	return v
 }
@@ -203,6 +224,36 @@ func (j *job) finish(res *ringmesh.Result, points []ringmesh.SweepPoint, cached 
 	j.cached = cached
 	j.mu.Unlock()
 	close(j.done)
+}
+
+// finishSweep records a coordinated sweep's merged outcome: the
+// completed points plus a structured per-point error report. Some
+// failures degrade the response; only a sweep with zero completed
+// points fails wholesale (classified by its first point error, so a
+// sweep that died entirely of connect errors reports as such, not as
+// a generic 500).
+func (j *job) finishSweep(points []ringmesh.SweepPoint, perrs []PointError, cached bool) error {
+	var err error
+	j.mu.Lock()
+	j.pointErrs = perrs
+	if len(points) == 0 && len(perrs) > 0 {
+		first := perrs[0].Error
+		j.state = JobFailed
+		j.errObj = &JobError{
+			Status:  first.Status,
+			Kind:    first.Kind,
+			Message: fmt.Sprintf("all %d points failed; first: %s", len(perrs), first.Message),
+		}
+		err = errors.New(j.errObj.Message)
+	} else {
+		j.state = JobDone
+		j.points = points
+		j.degraded = len(perrs) > 0
+	}
+	j.cached = cached
+	j.mu.Unlock()
+	close(j.done)
+	return err
 }
 
 // finished reports whether the job has completed (either way).

@@ -5,10 +5,13 @@ import (
 	"time"
 )
 
-// maxClients bounds the limiter's per-client state. When exceeded,
-// buckets that have refilled to full burst (i.e. idle clients) are
-// pruned; an attacker rotating source addresses can therefore evict
-// only idle state, never another client's debt.
+// maxClients is a hard bound on the limiter's per-client state. At
+// the bound, buckets that have refilled to full burst (idle clients)
+// are pruned first; if every bucket is still mid-debt, the least
+// recently seen one is evicted so the map can never grow past the
+// bound. Evicting live debt forgives at most one client's deficit —
+// bounded memory wins over perfect debt retention, because unbounded
+// growth is itself a denial of service.
 const maxClients = 4096
 
 // bucket is one client's token bucket.
@@ -60,6 +63,12 @@ func (l *rateLimiter) allow(client string) bool {
 	if !ok {
 		if len(l.clients) >= maxClients {
 			l.pruneLocked()
+			// Pruning frees nothing when every client is mid-debt (a
+			// flood of busy sources); enforce the bound by evicting the
+			// least recently seen buckets instead of growing past it.
+			for len(l.clients) >= maxClients {
+				l.evictOldestLocked()
+			}
 		}
 		b = &bucket{tokens: l.burst, last: now}
 		l.clients[client] = b
@@ -86,5 +95,25 @@ func (l *rateLimiter) pruneLocked() {
 		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
 			delete(l.clients, k)
 		}
+	}
+}
+
+// evictOldestLocked removes the least recently seen bucket. A linear
+// scan, but it only runs when the map is at its hard bound and
+// pruning freed nothing — the pathological case, not the steady
+// state. Caller holds l.mu.
+func (l *rateLimiter) evictOldestLocked() {
+	var (
+		oldestKey string
+		oldest    time.Time
+		found     bool
+	)
+	for k, b := range l.clients {
+		if !found || b.last.Before(oldest) {
+			oldestKey, oldest, found = k, b.last, true
+		}
+	}
+	if found {
+		delete(l.clients, oldestKey)
 	}
 }

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterAllowsWithinBudget sanity-checks the token bucket:
+// burst requests pass, the next is rejected, and refill restores one
+// token per 1/rate seconds.
+func TestRateLimiterAllowsWithinBudget(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newRateLimiter(1, 2)
+	l.now = func() time.Time { return now }
+
+	if !l.allow("c") || !l.allow("c") {
+		t.Fatal("burst requests rejected")
+	}
+	if l.allow("c") {
+		t.Fatal("over-burst request allowed")
+	}
+	now = now.Add(time.Second)
+	if !l.allow("c") {
+		t.Fatal("refilled token rejected")
+	}
+}
+
+// TestRateLimiterHardBoundUnderFlood is the unbounded-growth
+// regression test: a flood of distinct clients that are all mid-debt
+// (no bucket ever refills to full burst, so pruning frees nothing)
+// must not grow the map past maxClients — the limiter's own memory
+// cannot be the denial of service.
+func TestRateLimiterHardBoundUnderFlood(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newRateLimiter(1, 1)
+	l.now = func() time.Time { return now }
+
+	const flood = maxClients + 512
+	for i := 0; i < flood; i++ {
+		// 1ns apart: enough to order the buckets for the oldest-first
+		// check, far too little for any to refill — every bucket stays
+		// mid-debt, so only the eviction path can hold the bound.
+		now = now.Add(time.Nanosecond)
+		if !l.allow(fmt.Sprintf("c%d", i)) {
+			t.Fatalf("fresh client %d rejected", i)
+		}
+		if n := len(l.clients); n > maxClients {
+			t.Fatalf("after client %d: %d buckets; bound is %d", i, n, maxClients)
+		}
+	}
+	if n := len(l.clients); n != maxClients {
+		t.Fatalf("post-flood: %d buckets; want exactly %d", n, maxClients)
+	}
+
+	// Eviction is oldest-first: the earliest clients are gone, the most
+	// recent survive.
+	l.mu.Lock()
+	_, oldestAlive := l.clients["c0"]
+	_, newestAlive := l.clients[fmt.Sprintf("c%d", flood-1)]
+	l.mu.Unlock()
+	if oldestAlive {
+		t.Fatal("oldest bucket survived eviction")
+	}
+	if !newestAlive {
+		t.Fatal("newest bucket was evicted")
+	}
+}
+
+// TestRateLimiterPrunesIdleBeforeEvicting: when the bound is hit but
+// some clients have refilled to full burst (idle), pruning clears them
+// and no live debt is forgiven.
+func TestRateLimiterPrunesIdleBeforeEvicting(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newRateLimiter(1, 1)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < maxClients; i++ {
+		l.allow(fmt.Sprintf("c%d", i))
+	}
+	// Everyone idles long enough to refill fully; the next new client
+	// triggers a prune that clears them all.
+	now = now.Add(2 * time.Second)
+	if !l.allow("fresh") {
+		t.Fatal("fresh client rejected")
+	}
+	if n := len(l.clients); n != 1 {
+		t.Fatalf("after prune: %d buckets; want 1 (idle buckets cleared, none evicted)", n)
+	}
+}

@@ -42,6 +42,19 @@ type Options struct {
 	QueueDepth int
 	// CacheEntries bounds the result cache (default 256).
 	CacheEntries int
+	// CacheDir, when non-empty, adds a durable disk tier under the
+	// in-memory result cache: one checksummed file per cache key,
+	// written atomically, so results survive restarts (and even
+	// kill -9) and N replicas can share one mounted directory. Empty
+	// keeps the cache memory-only.
+	CacheDir string
+	// WorkerAddrs switches the server into coordinator mode: instead
+	// of simulating locally, it fans work out to the worker daemons at
+	// these base URLs (e.g. "http://10.0.0.7:8080") with retries,
+	// hedging and per-worker circuit breakers, and merges partial
+	// failures into degraded sweep responses. Empty means normal
+	// (simulating) mode.
+	WorkerAddrs []string
 	// Rate is the per-client request budget in requests/second
 	// (0 disables rate limiting).
 	Rate float64
@@ -81,6 +94,9 @@ type Server struct {
 	reg   *metrics.Registry
 	cache *resultCache
 	limit *rateLimiter
+	// coord is non-nil in coordinator mode (Options.WorkerAddrs set):
+	// jobs are dispatched to worker daemons instead of simulated here.
+	coord *coordinator
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -116,8 +132,11 @@ type Server struct {
 // for both queue waits under load and multi-minute simulations.
 var secondsBuckets = metrics.ExpBuckets(0.001, 4, 10)
 
-// New builds a Server and starts its worker pool.
-func New(opt Options) *Server {
+// New builds a Server and starts its worker pool. It fails only when
+// an explicitly requested capability cannot be provided (a CacheDir
+// that cannot be created) — durability asked for and silently not
+// delivered would be worse than not starting.
+func New(opt Options) (*Server, error) {
 	if opt.Workers < 1 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -149,11 +168,18 @@ func New(opt Options) *Server {
 	if reg == nil {
 		reg = &metrics.Registry{}
 	}
+	var disk *diskStore
+	if opt.CacheDir != "" {
+		var err error
+		if disk, err = newDiskStore(opt.CacheDir, reg, opt.Logger); err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opt:     opt,
 		reg:     reg,
-		cache:   newResultCache(opt.CacheEntries, reg),
+		cache:   newResultCache(opt.CacheEntries, disk, reg),
 		limit:   newRateLimiter(opt.Rate, opt.Burst),
 		baseCtx: ctx,
 		cancel:  cancel,
@@ -188,10 +214,16 @@ func New(opt Options) *Server {
 		runtime.ReadMemStats(&m)
 		return float64(m.PauseTotalNs) / 1e9
 	})
+	if len(opt.WorkerAddrs) > 0 {
+		s.coord = newCoordinator(opt.WorkerAddrs, reg, opt.Logger)
+		// The probe loop re-admits ejected workers; it stops when the
+		// base context dies (drain completion or drain-deadline cancel).
+		go s.coord.probeLoop(s.baseCtx)
+	}
 	// Split the CPU budget: jobWorkers concurrent jobs, each running
 	// EngineWorkers engine goroutines, stay within opt.Workers total.
 	s.wait = pool.Workers(s.jobWorkers(), s.queue, s.execute)
-	return s
+	return s, nil
 }
 
 // jobWorkers is the job-level pool size after the per-job engine
@@ -224,6 +256,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Every job has finished; cancel the base context so background
+		// machinery (the coordinator's health-probe loop) stops too.
+		s.cancel()
 		s.log.Info("drain complete")
 		return nil
 	case <-ctx.Done():
@@ -363,11 +398,20 @@ func (s *Server) execute(j *job) {
 }
 
 // executeRun resolves a single run through the cache (single-flight:
-// concurrent identical jobs simulate once and share the result).
+// concurrent identical jobs simulate once and share the result). In
+// coordinator mode the computation is a dispatch to the worker fleet
+// instead of a local simulation — same cache, same key, same result.
 func (s *Server) executeRun(ctx context.Context, j *job) error {
-	res, cached, err := s.cache.do(ctx, j.key, j.tr, func() (ringmesh.Result, error) {
+	compute := func() (ringmesh.Result, error) {
 		return s.simulate(ctx, j, j.cfg, j.opt)
-	})
+	}
+	if s.coord != nil {
+		compute = func() (ringmesh.Result, error) {
+			res, _, err := s.coord.runPoint(ctx, j.cfg, j.opt, j.tr)
+			return res, err
+		}
+	}
+	res, cached, err := s.cache.do(ctx, j.key, j.tr, compute)
 	if err != nil {
 		j.finish(nil, nil, false, err)
 		return err
@@ -379,8 +423,13 @@ func (s *Server) executeRun(ctx context.Context, j *job) error {
 // executeSweep runs one cached simulation per size, serially within
 // the job (cross-job parallelism comes from the worker pool). Each
 // point uses the same cache key a single run of that size would, so
-// sweeps populate — and benefit from — the same cache.
+// sweeps populate — and benefit from — the same cache. In
+// coordinator mode the sweep instead fans out to the worker fleet
+// and merges partial failures.
 func (s *Server) executeSweep(ctx context.Context, j *job) error {
+	if s.coord != nil {
+		return s.executeSweepCoordinated(ctx, j)
+	}
 	points := make([]ringmesh.SweepPoint, 0, len(j.sizes))
 	allCached := len(j.sizes) > 0
 	for _, n := range j.sizes {
@@ -412,6 +461,90 @@ func (s *Server) executeSweep(ctx context.Context, j *job) error {
 	sort.Slice(points, func(a, b int) bool { return points[a].Nodes < points[b].Nodes })
 	j.finish(nil, points, allCached, nil)
 	return nil
+}
+
+// executeSweepCoordinated fans a sweep's points out to the worker
+// fleet concurrently and merges whatever comes back: completed points
+// plus a structured per-point error report for the rest. One dead
+// worker (or one doomed size) degrades the response instead of
+// voiding it — the only wholesale failures are cancellation (drain)
+// and every single point failing.
+func (s *Server) executeSweepCoordinated(ctx context.Context, j *job) error {
+	type slot struct {
+		point  *ringmesh.SweepPoint
+		perr   *PointError
+		cached bool
+	}
+	slots := make([]slot, len(j.sizes))
+	// Concurrency: twice the fleet size keeps every worker's queue fed
+	// without flooding a small fleet with a large grid all at once.
+	width := 2 * len(s.coord.workers)
+	if width > len(j.sizes) {
+		width = len(j.sizes)
+	}
+	pool.ForEach(ctx, width, len(j.sizes), nil, func(i int) error {
+		n := j.sizes[i]
+		cfg := j.cfg
+		cfg.Topology = ""
+		cfg.Nodes = n
+		key, err := ringmesh.CacheKey(cfg, j.opt)
+		if err != nil {
+			// Unreachable in practice: every size was validated at
+			// submission. Classified rather than dropped, defensively.
+			slots[i].perr = &PointError{Nodes: n, Error: classify(&configError{err})}
+			j.pointsDone.Add(1)
+			return nil
+		}
+		attempts := 1
+		res, cached, err := s.cache.do(ctx, key, j.tr, func() (ringmesh.Result, error) {
+			r, a, err := s.coord.runPoint(ctx, cfg, j.opt, j.tr)
+			attempts = a
+			return r, err
+		})
+		if err != nil {
+			s.coord.pointsFailed.Inc()
+			slots[i].perr = &PointError{Nodes: n, Error: classifyPointErr(err)}
+			s.log.Warn("sweep point failed", "job", j.id, "nodes", n,
+				"kind", slots[i].perr.Error.Kind, "err", err)
+		} else {
+			slots[i].cached = cached
+			slots[i].point = &ringmesh.SweepPoint{
+				Nodes: n, Topology: resolveTopology(cfg), Result: res, Attempts: attempts,
+			}
+		}
+		j.pointsDone.Add(1)
+		return nil
+	})
+	// Drain-cancellation fails the job wholesale, exactly like the
+	// local sweep path: a canceled sweep is an aborted attempt, not a
+	// degraded answer.
+	if err := ctx.Err(); err != nil {
+		err = fmt.Errorf("sweep canceled: %w", err)
+		j.finish(nil, nil, false, err)
+		return err
+	}
+	var (
+		points    []ringmesh.SweepPoint
+		perrs     []PointError
+		allCached = len(slots) > 0
+	)
+	for _, sl := range slots {
+		if sl.point != nil {
+			points = append(points, *sl.point)
+			allCached = allCached && sl.cached
+		}
+		if sl.perr != nil {
+			perrs = append(perrs, *sl.perr)
+			allCached = false
+		}
+	}
+	sort.Slice(points, func(a, b int) bool { return points[a].Nodes < points[b].Nodes })
+	sort.Slice(perrs, func(a, b int) bool { return perrs[a].Nodes < perrs[b].Nodes })
+	if len(perrs) > 0 {
+		s.log.Warn("sweep degraded", "job", j.id,
+			"completed", len(points), "failed", len(perrs))
+	}
+	return j.finishSweep(points, perrs, allCached)
 }
 
 // simulate builds and runs one system. When j is a single-run job its

@@ -39,7 +39,10 @@ func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
 	if opt.Workers == 0 {
 		opt.Workers = 2
 	}
-	s := New(opt)
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -25,7 +25,10 @@ func TestJobWorkersSplitsBudget(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			s := New(Options{Workers: tc.workers, EngineWorkers: tc.engine})
+			s, err := New(Options{Workers: tc.workers, EngineWorkers: tc.engine})
+			if err != nil {
+				t.Fatal(err)
+			}
 			defer func() { _ = s.Drain(context.Background()) }()
 			if got := s.jobWorkers(); got != tc.wantJobs {
 				t.Errorf("Workers=%d EngineWorkers=%d: jobWorkers = %d, want %d",
