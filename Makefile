@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck race bench-smoke bench-guard bench-baseline profile smoke-ringmeshd ci
+.PHONY: all build test vet staticcheck race bench-smoke bench-guard bench-baseline profile smoke-ringmeshd fuzz-smoke ci
 
 all: build
 
@@ -55,5 +55,13 @@ profile:
 smoke-ringmeshd:
 	bash ci/smoke_ringmeshd.sh
 
+# A short native-fuzz pass over the hostile-input parsers: the fault
+# plan DSL and the job-journal record decoder must never panic. The
+# seed corpora also run as plain tests in `make test`; this target
+# additionally mutates for a few seconds per target.
+fuzz-smoke:
+	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzParse -fuzztime 5s
+	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzDecodeRecord -fuzztime 5s
+
 # The gate run by .github/workflows/ci.yml.
-ci: vet staticcheck build race bench-smoke bench-guard smoke-ringmeshd
+ci: vet staticcheck build race bench-smoke bench-guard fuzz-smoke smoke-ringmeshd

@@ -298,4 +298,118 @@ esac
 kill -TERM "$cpid"; wait "$cpid" || { echo "FAIL: coordinator exited dirty"; exit 1; }
 
 echo "PASS: coordinator smoke (fleet killed mid-sweep; merged degraded response with retries+breaker trips)"
+
+# ---------------------------------------------------------------------
+# Stage 4: overload. One worker, a tiny queue, a long occupier, and a
+# background flood filling every slot. An interactive submission must
+# still admit (evicting background), further background work must be
+# shed with 503 + Retry-After + the structured body, and the per-class
+# admit/shed counters must tell the story on /metrics.
+
+flog=$(mktemp)
+boot "$flog" -workers 1 -queue 3
+fpid=$BOOT_PID; fbase="http://$BOOT_ADDR"
+
+occupier='{"config":{"network":"mesh","nodes":256,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":20},"options":{"warmup_cycles":20000,"batch_cycles":20000,"batches":8}}'
+oid=$(submit_id "$fbase" "$occupier")
+[ -n "$oid" ] || { echo "FAIL: no occupier id"; exit 1; }
+# Wait until the worker picks it up, so the flood below only competes
+# for queue slots, never for the worker.
+started=""
+for _ in $(seq 1 100); do
+  case "$(curl -fsS "$fbase/v1/jobs/$oid" | tr -d '[:space:]')" in
+    *'"state":"running"'*) started=yes; break ;;
+  esac
+  sleep 0.1
+done
+[ -n "$started" ] || { echo "FAIL: occupier never started"; exit 1; }
+
+bgbody() { printf '{"config":{"network":"mesh","nodes":16,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":%d},"class":"background","options":{"warmup_cycles":500,"batch_cycles":500,"batches":2}}' "$1"; }
+bglast=""
+for i in 21 22 23; do
+  bglast=$(submit_id "$fbase" "$(bgbody "$i")")
+  [ -n "$bglast" ] || { echo "FAIL: background flood job $i rejected early"; exit 1; }
+done
+
+# Interactive (default class) still admits at the full queue.
+inter='{"config":{"network":"mesh","nodes":16,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":24},"options":{"warmup_cycles":500,"batch_cycles":500,"batches":2}}'
+iid=$(submit_id "$fbase" "$inter")
+[ -n "$iid" ] || { echo "FAIL: interactive submission shed under background flood"; exit 1; }
+
+# Its victim: the newest background job, failed with the shed taxonomy.
+vdoc=$(curl -fsS "$fbase/v1/jobs/$bglast" | tr -d '[:space:]')
+case "$vdoc" in
+  *'"state":"failed"'*'"kind":"shed"'*|*'"kind":"shed"'*'"state":"failed"'*) ;;
+  *) echo "FAIL: evicted background job not failed/shed: $vdoc"; exit 1 ;;
+esac
+
+# One more background submission has nothing to evict: 503 with the
+# full backpressure contract.
+shedhdr=$(mktemp); shedbody=$(mktemp)
+code=$(curl -sS -D "$shedhdr" -o "$shedbody" -w '%{http_code}' -X POST "$fbase/v1/runs" -d "$(bgbody 25)")
+[ "$code" = "503" ] || { echo "FAIL: saturated background POST = $code"; cat "$shedbody"; exit 1; }
+grep -qi '^retry-after: [1-9]' "$shedhdr" || { echo "FAIL: shed 503 missing Retry-After:"; cat "$shedhdr"; exit 1; }
+grep -q '"class": *"background"' "$shedbody" || { echo "FAIL: shed body missing class:"; cat "$shedbody"; exit 1; }
+grep -q '"retry_after_ms": *[1-9]' "$shedbody" || { echo "FAIL: shed body missing retry_after_ms:"; cat "$shedbody"; exit 1; }
+
+# Liveness vs readiness: both up, readiness carrying per-class depths.
+curl -fsS "$fbase/healthz" | grep -q '"ok"' || { echo "FAIL: healthz under flood"; exit 1; }
+curl -fsS "$fbase/readyz" | grep -q '"interactive"' || { echo "FAIL: readyz missing class depths"; exit 1; }
+
+fmetrics=$(curl -fsS "$fbase/metrics")
+echo "$fmetrics" | grep -q 'ringmeshd_admit_total{class="interactive"} 2' \
+  || { echo "FAIL: interactive admit counter:"; echo "$fmetrics" | grep admit; exit 1; }
+echo "$fmetrics" | grep -q 'ringmeshd_shed_total{class="background"} 2' \
+  || { echo "FAIL: background shed counter:"; echo "$fmetrics" | grep shed; exit 1; }
+
+# The interactive job completes once the occupier finishes; the two
+# surviving background jobs drain behind it.
+await "$fbase" "$iid" >/dev/null
+kill -TERM "$fpid"; wait "$fpid" || { echo "FAIL: flood daemon exited dirty"; exit 1; }
+
+echo "PASS: overload smoke (interactive admitted+completed under background flood; shed with Retry-After)"
+
+# ---------------------------------------------------------------------
+# Stage 5: crash-safe journal. Boot with -journal-dir, stack one
+# running job and three queued ones, kill -9 — no drain, no fsync
+# beyond what every append already did — then restart over the same
+# directory and demand all four complete under their original IDs,
+# with the replay visible on /metrics.
+
+journaldir=$(mktemp -d)
+jlog1=$(mktemp)
+boot "$jlog1" -workers 1 -journal-dir "$journaldir"
+jpid1=$BOOT_PID; jbase1="http://$BOOT_ADDR"
+
+jids=()
+jid=$(submit_id "$jbase1" "$occupier")   # long: still running at the kill
+[ -n "$jid" ] || { echo "FAIL: no journaled occupier id"; exit 1; }
+jids+=("$jid")
+for i in 31 32 33; do
+  body=$(printf '{"config":{"network":"mesh","nodes":16,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":%d},"options":{"warmup_cycles":500,"batch_cycles":500,"batches":2}}' "$i")
+  jid=$(submit_id "$jbase1" "$body")
+  [ -n "$jid" ] || { echo "FAIL: journaled job $i rejected"; exit 1; }
+  jids+=("$jid")
+done
+
+kill -9 "$jpid1"
+wait "$jpid1" 2>/dev/null || true
+
+jlog2=$(mktemp)
+boot "$jlog2" -workers 0 -journal-dir "$journaldir"
+jpid2=$BOOT_PID; jbase2="http://$BOOT_ADDR"
+
+for jid in "${jids[@]}"; do
+  await "$jbase2" "$jid" >/dev/null
+done
+
+jmetrics=$(curl -fsS "$jbase2/metrics")
+echo "$jmetrics" | grep -q '^ringmeshd_journal_replayed_total 4$' \
+  || { echo "FAIL: replay counter:"; echo "$jmetrics" | grep journal; exit 1; }
+echo "$jmetrics" | grep -q '^ringmeshd_journal_quarantined_total 0$' \
+  || { echo "FAIL: clean journal quarantined records:"; echo "$jmetrics" | grep journal; exit 1; }
+
+kill -TERM "$jpid2"; wait "$jpid2" || { echo "FAIL: journal daemon exited dirty"; exit 1; }
+
+echo "PASS: journal smoke (kill -9 with 4 unfinished jobs; restart replayed all under original IDs)"
 echo "PASS: ringmeshd smoke"

@@ -9,13 +9,26 @@
 //	curl -s -X POST localhost:8080/v1/runs -d '{"config":{"network":"mesh","nodes":64,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":42}}'
 //	curl -s localhost:8080/v1/jobs/j000001
 //
-// Endpoints: POST /v1/runs, POST /v1/sweeps, GET /v1/jobs/{id}
-// (?watch=1 for SSE), GET /healthz, GET /metrics.
+// Endpoints: POST /v1/runs, POST /v1/sweeps, POST /v1/batch,
+// GET /v1/jobs/{id} (?watch=1 for SSE), GET /healthz (liveness),
+// GET /readyz (readiness with per-class queue depths), GET /metrics.
+//
+// Admission control: every submission carries a priority class
+// (interactive, batch, background; default interactive, /v1/batch
+// defaults to batch) drained by a weighted scheduler so interactive
+// runs preempt bulk work, and an optional end-to-end deadline
+// (X-Ringmeshd-Deadline header or deadline_ms field) that flows from
+// the queue through the engine to coordinator dispatches. Under
+// saturation the lowest class is shed first, with Retry-After and a
+// structured {"error","class","retry_after_ms"} body.
 //
 // Durability: -cache-dir adds a disk tier under the in-memory result
 // cache (checksummed files, atomic renames), so results survive
 // restarts — even kill -9 — and N replicas can share one mounted
-// directory.
+// directory. -journal-dir additionally journals every job state
+// transition to an fsync'd write-ahead log, so accepted-but-unfinished
+// jobs survive kill -9 too: on restart the journal replays and
+// re-enqueues them under their original IDs and classes.
 //
 // Coordinator mode: -coordinator -worker-addrs=h1:8080,h2:8080 fans
 // jobs out to worker daemons over the same HTTP API instead of
@@ -58,7 +71,9 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "total engine goroutine budget across jobs (0 = GOMAXPROCS)")
 		engineW      = flag.Int("engine-workers", 1, "parallel tick workers per job (1 = serial engine; the job pool shrinks to workers/engine-workers)")
-		queue        = flag.Int("queue", 64, "pending job bound; submissions past it get 503")
+		queue        = flag.Int("queue", 64, "pending job bound across all classes; at the bound lower classes are shed first")
+		classDepth   = flag.Int("class-depth", 0, "per-class pending job bound (0 = only the shared -queue bound applies)")
+		journalDir   = flag.String("journal-dir", "", "crash-safe job journal directory; accepted jobs survive kill -9 and replay on restart (empty = off)")
 		cacheEntries = flag.Int("cache-entries", 256, "result cache bound (LRU)")
 		cacheDir     = flag.String("cache-dir", "", "durable disk cache directory; results survive restarts and may be shared by replicas (empty = memory only)")
 		coord        = flag.Bool("coordinator", false, "coordinator mode: fan jobs out to -worker-addrs instead of simulating locally")
@@ -73,7 +88,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*workers, *engineW, *queue, *cacheEntries, *rate, *burst, *maxBody,
+	if err := validateFlags(*workers, *engineW, *queue, *classDepth, *cacheEntries, *rate, *burst, *maxBody,
 		*jobTimeout, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "ringmeshd:", err)
 		os.Exit(2)
@@ -94,6 +109,8 @@ func main() {
 		Workers:       *workers,
 		EngineWorkers: *engineW,
 		QueueDepth:    *queue,
+		ClassDepth:    *classDepth,
+		JournalDir:    *journalDir,
 		CacheEntries:  *cacheEntries,
 		CacheDir:      *cacheDir,
 		WorkerAddrs:   addrsList,
@@ -115,7 +132,8 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("listening", "addr", ln.Addr().String(), "pprof", *pprofOn,
-		"cache_dir", *cacheDir, "coordinator", *coord, "workers", len(addrsList))
+		"cache_dir", *cacheDir, "journal_dir", *journalDir,
+		"coordinator", *coord, "workers", len(addrsList))
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -195,7 +213,7 @@ func parseLevel(s string) (slog.Level, error) {
 }
 
 // validateFlags rejects nonsense values with messages naming the flag.
-func validateFlags(workers, engineWorkers, queue, cacheEntries int, rate float64, burst int,
+func validateFlags(workers, engineWorkers, queue, classDepth, cacheEntries int, rate float64, burst int,
 	maxBody int64, jobTimeout, drainTimeout time.Duration) error {
 	switch {
 	case workers < 0:
@@ -204,6 +222,8 @@ func validateFlags(workers, engineWorkers, queue, cacheEntries int, rate float64
 		return fmt.Errorf("-engine-workers %d < 1", engineWorkers)
 	case queue < 1:
 		return fmt.Errorf("-queue %d < 1", queue)
+	case classDepth < 0:
+		return fmt.Errorf("-class-depth %d < 0", classDepth)
 	case cacheEntries < 1:
 		return fmt.Errorf("-cache-entries %d < 1", cacheEntries)
 	case rate < 0:

@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"testing"
+)
+
+// FuzzParse holds the plan-DSL parser to its contract: arbitrary input
+// must produce a plan or an error — never a panic — and any accepted
+// plan must re-parse from its own String() to the same normal form
+// (String is the -fault-plan flag's round-trip format).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"none",
+		"",
+		";;",
+		"stutter@1000+200:node=3",
+		"slowdown@500+1000:node=0,factor=4",
+		"degrade@0+300:node=5,port=1,factor=2",
+		"stutter@1+2:node=0;slowdown@3+4:node=1;none",
+		"rand:events=8,seed=42,horizon=10000",
+		"rand:events=2,seed=7,horizon=100,mean-dur=5,max-factor=3",
+		"stutter@-5+-7:node=-1",
+		"slowdown@9223372036854775807+1:node=2",
+		"stutter@1+2:node=0,node=1,factor=0",
+		"rand:events=0,seed=0,horizon=0",
+		"bogus@1+2:node=0",
+		"stutter@@+:node",
+		"rand:rand:rand",
+		"stutter@1+2:node=0;rand:events=1,seed=1,horizon=9;rand:events=2,seed=2,horizon=9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input) // must never panic
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatalf("Parse(%q) = nil plan, nil error", input)
+		}
+		// Accepted plans normalize: String() re-parses to itself.
+		norm := p.String()
+		p2, err := Parse(norm)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but its String %q does not re-parse: %v", input, norm, err)
+		}
+		if got := p2.String(); got != norm {
+			t.Fatalf("String round-trip unstable: %q -> %q -> %q", input, norm, got)
+		}
+	})
+}

@@ -15,41 +15,78 @@ import (
 
 // runRequest is the POST /v1/runs body: a facade Config (snake_case
 // wire names, see ringmesh.Config) plus an optional run schedule
-// (omitted: DefaultRunOptions).
+// (omitted: DefaultRunOptions), an optional priority class (omitted:
+// interactive) and an optional relative deadline in milliseconds
+// (omitted or 0: none; overrides the X-Ringmeshd-Deadline header).
 type runRequest struct {
-	Config  ringmesh.Config      `json:"config"`
-	Options *ringmesh.RunOptions `json:"options"`
+	Config     ringmesh.Config      `json:"config"`
+	Options    *ringmesh.RunOptions `json:"options"`
+	Class      string               `json:"class,omitempty"`
+	DeadlineMS int64                `json:"deadline_ms,omitempty"`
 }
 
 // sweepRequest is the POST /v1/sweeps body: a base Config measured at
 // each size (topology re-derived per size, as SweepSizes does).
 type sweepRequest struct {
+	Config     ringmesh.Config      `json:"config"`
+	Sizes      []int                `json:"sizes"`
+	Options    *ringmesh.RunOptions `json:"options"`
+	Class      string               `json:"class,omitempty"`
+	DeadlineMS int64                `json:"deadline_ms,omitempty"`
+}
+
+// batchRunRequest is one entry of a batch submission: a config plus an
+// optional schedule. Class and deadline live on the batch, not its
+// entries — the batch is one prioritized unit.
+type batchRunRequest struct {
 	Config  ringmesh.Config      `json:"config"`
-	Sizes   []int                `json:"sizes"`
 	Options *ringmesh.RunOptions `json:"options"`
 }
 
-// errorBody is the JSON error envelope on non-2xx responses.
+// batchRequest is the POST /v1/batch body: many runs submitted as one
+// job under a single class (omitted: batch) and optional deadline.
+type batchRequest struct {
+	Runs       []batchRunRequest `json:"runs"`
+	Class      string            `json:"class,omitempty"`
+	DeadlineMS int64             `json:"deadline_ms,omitempty"`
+}
+
+// deadlineHeader optionally carries a relative client deadline as a Go
+// duration string ("30s", "1m30s"); a deadline_ms body field wins over
+// it.
+const deadlineHeader = "X-Ringmeshd-Deadline"
+
+// errorBody is the JSON error envelope on non-2xx responses. Shed and
+// rate-limited responses additionally carry the affected class and a
+// retry hint mirroring the Retry-After header (in milliseconds, since
+// the header only has whole-second resolution).
 type errorBody struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	Class        string `json:"class,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // Handler returns the daemon's route table:
 //
 //	POST /v1/runs              submit one simulation (202, or 200 on a cache hit)
 //	POST /v1/sweeps            submit a size sweep (202)
+//	POST /v1/batch             submit many runs as one prioritized unit (202)
 //	GET  /v1/jobs/{id}         poll a job document; ?watch=1 streams SSE
 //	GET  /v1/jobs/{id}/trace   job lifecycle spans as Chrome trace-event JSON
-//	GET  /healthz              200 while accepting work, 503 while draining
+//	GET  /healthz              liveness: 200 while the process serves at all
+//	GET  /readyz               readiness: 503 while draining or replaying the
+//	                           journal, else 200 with per-class queue depths
 //	GET  /metrics              Prometheus-style text snapshot
 //	GET  /debug/pprof/...      Go profiling endpoints (only with EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleRun)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opt.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -73,6 +110,23 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeBackoff answers a shed, draining or rate-limited request with
+// the documented backpressure contract: a Retry-After header in whole
+// seconds (rounded up, so never 0) plus a structured body carrying the
+// class (when known) and the millisecond-precision retry hint.
+func writeBackoff(w http.ResponseWriter, status int, class string, retryAfter time.Duration, format string, args ...any) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeJSON(w, status, errorBody{
+		Error:        fmt.Sprintf(format, args...),
+		Class:        class,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}
+
 // clientKey identifies a client for rate limiting: the source address
 // without the ephemeral port.
 func clientKey(r *http.Request) string {
@@ -90,12 +144,20 @@ func clientKey(r *http.Request) string {
 func (s *Server) gate(w http.ResponseWriter, r *http.Request, into any) bool {
 	if s.drainingNow() {
 		s.rejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		writeBackoff(w, http.StatusServiceUnavailable, "", time.Second, "%v", errDraining)
 		return false
 	}
 	if !s.limit.allow(clientKey(r)) {
 		s.rateLimited.Inc()
-		writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+		// The token bucket refills at Rate/sec, so one inter-token gap is
+		// the honest earliest retry (whole-second floor: 1s).
+		ra := time.Second
+		if s.opt.Rate > 0 {
+			if gap := time.Duration(float64(time.Second) / s.opt.Rate); gap > ra {
+				ra = gap
+			}
+		}
+		writeBackoff(w, http.StatusTooManyRequests, "", ra, "rate limit exceeded")
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxBody))
@@ -131,6 +193,78 @@ func validateRunOptions(o ringmesh.RunOptions) error {
 	}
 }
 
+// submitMeta resolves a submission's priority class and absolute
+// deadline. The deadline is relative at the wire (header: a Go
+// duration; body: milliseconds, winning over the header) and absolute
+// from here on, so queue time counts against it.
+func submitMeta(r *http.Request, bodyClass string, deadlineMS int64, def class) (class, time.Time, error) {
+	cls, err := parseClass(bodyClass, def)
+	if err != nil {
+		return 0, time.Time{}, err
+	}
+	if deadlineMS < 0 {
+		return 0, time.Time{}, fmt.Errorf("deadline_ms %d < 0", deadlineMS)
+	}
+	var deadline time.Time
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil || d <= 0 {
+			return 0, time.Time{}, fmt.Errorf("bad %s header %q: want a positive Go duration like \"30s\"", deadlineHeader, h)
+		}
+		deadline = time.Now().Add(d)
+	}
+	if deadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(deadlineMS) * time.Millisecond)
+	}
+	return cls, deadline, nil
+}
+
+// rejectInfeasible refuses a deadline the collected run telemetry says
+// cannot be met — estimated queue wait plus run cost already exceeds
+// the remaining budget — so the job fails in microseconds at admission
+// instead of burning a worker to produce an answer nobody wants. With
+// no telemetry yet the job is admitted optimistically (the in-queue
+// expiry check still catches it). Reports true after writing the 504.
+func (s *Server) rejectInfeasible(w http.ResponseWriter, j *job) bool {
+	if j.deadline.IsZero() {
+		return false
+	}
+	est, ok := s.estimateCost(j.family(), j.units())
+	if !ok || time.Until(j.deadline) >= est {
+		return false
+	}
+	s.deadlineRej[j.class].Inc()
+	s.log.Warn("deadline infeasible at admission", "class", j.class.String(),
+		"family", j.family(), "budget", time.Until(j.deadline), "estimate", est)
+	writeError(w, http.StatusGatewayTimeout,
+		"deadline infeasible: %s remaining, estimated cost %s", time.Until(j.deadline).Round(time.Millisecond), est.Round(time.Millisecond))
+	return true
+}
+
+// submitJob runs the shared tail of every submission handler:
+// admission (with the backpressure contract on shed), the enqueue
+// span, and the 202 response.
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, j *job, what string) {
+	s.register(j)
+	// enqueuedAt is set before admission: a worker may pick the job up
+	// the instant it enters its class queue, and it reads this field to
+	// reconstruct the queue-wait span.
+	enqStart := time.Now()
+	j.enqueuedAt = enqStart
+	if err := s.admit(j); err != nil {
+		s.unregister(j)
+		s.rejected.Inc()
+		s.log.Warn(what+" rejected", "client", clientKey(r), "class", j.class.String(), "err", err)
+		writeBackoff(w, http.StatusServiceUnavailable, j.class.String(), s.retryAfter(j.family()), "%v", err)
+		return
+	}
+	j.tr.Record(obs.SpanRecord{Name: "enqueue", Start: enqStart, Dur: time.Since(enqStart)})
+	s.accepted.Inc()
+	s.log.Info(what+" accepted", "job", j.id, "class", j.class.String(),
+		"family", j.family(), "client", clientKey(r))
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
 	if !s.gate(w, r, &req) {
@@ -146,6 +280,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
 		return
 	}
+	cls, deadline, err := submitMeta(r, req.Class, req.DeadlineMS, classInteractive)
+	if err != nil {
+		s.log.Warn("run rejected", "client", clientKey(r), "err", err)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	key, err := ringmesh.CacheKey(req.Config, opt)
 	if err != nil {
 		// The model's own validation message, verbatim — the same text
@@ -155,16 +295,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j := newJob("", "run", s.opt.TraceSpans)
+	j := newJob("", kindRun, s.opt.TraceSpans)
 	j.cfg, j.opt, j.key = req.Config, opt, key
+	j.class, j.deadline = cls, deadline
 	j.tr.Record(obs.SpanRecord{
 		Name: "validate", Start: validateStart, Dur: time.Since(validateStart),
 		Attrs: []obs.Attr{{Key: "key", Value: key[:8]}},
 	})
 
 	// Submission-time cache probe: a hit completes the job without it
-	// ever touching the queue, so cached replays cost one map lookup
-	// even when the queue is saturated.
+	// ever touching the queue (or its deadline), so cached replays cost
+	// one map lookup even when the queue is saturated.
 	if res, ok := s.cache.get(key); ok {
 		j.finish(&res, nil, true, nil)
 		s.register(j)
@@ -175,25 +316,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, j.view())
 		return
 	}
-
-	s.register(j)
-	// enqueuedAt is set before the queue send: a worker may pick the
-	// job up the instant it lands in the channel, and it reads this
-	// field to reconstruct the queue-wait span.
-	enqStart := time.Now()
-	j.enqueuedAt = enqStart
-	if err := s.enqueue(j); err != nil {
-		s.unregister(j)
-		s.rejected.Inc()
-		s.log.Warn("run rejected", "client", clientKey(r), "err", err)
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	if s.rejectInfeasible(w, j) {
 		return
 	}
-	j.tr.Record(obs.SpanRecord{Name: "enqueue", Start: enqStart, Dur: time.Since(enqStart)})
-	s.accepted.Inc()
-	s.log.Info("run accepted", "job", j.id, "family", j.family(),
-		"client", clientKey(r))
-	writeJSON(w, http.StatusAccepted, j.view())
+	s.submitJob(w, r, j, "run")
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -208,6 +334,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := validateRunOptions(opt); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
+		return
+	}
+	cls, deadline, err := submitMeta(r, req.Class, req.DeadlineMS, classInteractive)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if len(req.Sizes) == 0 {
@@ -226,27 +357,68 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j := newJob("", "sweep", s.opt.TraceSpans)
+	j := newJob("", kindSweep, s.opt.TraceSpans)
 	j.cfg, j.opt = req.Config, opt
+	j.class, j.deadline = cls, deadline
 	j.sizes = append([]int(nil), req.Sizes...)
 	j.tr.Record(obs.SpanRecord{
 		Name: "validate", Start: validateStart, Dur: time.Since(validateStart),
 	})
-	s.register(j)
-	enqStart := time.Now()
-	j.enqueuedAt = enqStart
-	if err := s.enqueue(j); err != nil {
-		s.unregister(j)
-		s.rejected.Inc()
-		s.log.Warn("sweep rejected", "client", clientKey(r), "err", err)
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	if s.rejectInfeasible(w, j) {
 		return
 	}
-	j.tr.Record(obs.SpanRecord{Name: "enqueue", Start: enqStart, Dur: time.Since(enqStart)})
-	s.accepted.Inc()
-	s.log.Info("sweep accepted", "job", j.id, "family", j.family(),
-		"sizes", len(j.sizes), "client", clientKey(r))
-	writeJSON(w, http.StatusAccepted, j.view())
+	s.submitJob(w, r, j, "sweep")
+}
+
+// handleBatch accepts many runs as one prioritized unit: one job, one
+// class (default batch), one deadline, one journal record — the bulk
+// counterpart to /v1/runs that the admission classes exist to keep out
+// of interactive traffic's way.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.gate(w, r, &req) {
+		return
+	}
+	validateStart := time.Now()
+	cls, deadline, err := submitMeta(r, req.Class, req.DeadlineMS, classBatch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Runs) == 0 {
+		writeError(w, http.StatusBadRequest, "runs must hold at least one entry")
+		return
+	}
+	// Validate every entry up front so a doomed batch fails at submit
+	// with the model's message, not halfway through the job.
+	entries := make([]batchEntry, len(req.Runs))
+	for i, br := range req.Runs {
+		opt := ringmesh.DefaultRunOptions()
+		if br.Options != nil {
+			opt = *br.Options
+		}
+		if err := validateRunOptions(opt); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid options at entry %d: %v", i, err)
+			return
+		}
+		if _, err := ringmesh.CacheKey(br.Config, opt); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid config at entry %d: %v", i, err)
+			return
+		}
+		entries[i] = batchEntry{Config: br.Config, Options: opt}
+	}
+
+	j := newJob("", kindBatch, s.opt.TraceSpans)
+	j.entries = entries
+	j.class, j.deadline = cls, deadline
+	j.tr.Record(obs.SpanRecord{
+		Name: "validate", Start: validateStart, Dur: time.Since(validateStart),
+		Attrs: []obs.Attr{{Key: "entries", Value: fmt.Sprint(len(entries))}},
+	})
+	if s.rejectInfeasible(w, j) {
+		return
+	}
+	s.submitJob(w, r, j, "batch")
 }
 
 // handleJobTrace serves a job's lifecycle spans as Chrome trace-event
@@ -322,12 +494,30 @@ func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, j *job) {
 	}
 }
 
+// handleHealth is pure liveness: 200 whenever the process can answer
+// HTTP at all. Routing decisions belong to /readyz — a draining daemon
+// is still alive (it is finishing jobs), it just should not get new
+// ones.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	if s.drainingNow() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyBody is the /readyz document: the gate state plus per-class
+// queue depths, so load balancers and coordinators can both stop
+// routing early and see where the backlog lives.
+type readyBody struct {
+	Status string         `json:"status"`
+	Queues map[string]int `json:"queues"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	body := readyBody{Status: "ready", Queues: s.adm.classDepths()}
+	if reason, notReady := s.notReady(); notReady {
+		body.Status = reason
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -185,11 +185,13 @@ func (co *coordinator) probeLoop(ctx context.Context) {
 	}
 }
 
-// probe asks one worker's /healthz whether it is accepting work.
+// probe asks one worker's /readyz whether it is accepting work —
+// readiness, not liveness: a draining or journal-replaying worker is
+// alive but must not be re-admitted for dispatch yet.
 func (co *coordinator) probe(ctx context.Context, w *workerClient) bool {
 	pctx, cancel := context.WithTimeout(ctx, co.probeTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.base+"/healthz", nil)
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.base+"/readyz", nil)
 	if err != nil {
 		return false
 	}
@@ -390,7 +392,21 @@ func (co *coordinator) dispatch(ctx context.Context, w *workerClient, cfg ringme
 // service demonstrably works — the taxonomy decides retrying, not
 // ejection).
 func (co *coordinator) dispatchRaw(ctx context.Context, w *workerClient, cfg ringmesh.Config, opt ringmesh.RunOptions) (ringmesh.Result, error) {
-	body, err := json.Marshal(runRequest{Config: cfg, Options: &opt})
+	rr := runRequest{Config: cfg, Options: &opt}
+	// End-to-end propagation: the dispatched run inherits the job's
+	// class on the worker's own admission queues, and whatever remains
+	// of the deadline becomes the worker's budget for this point.
+	if c, ok := classFromCtx(ctx); ok {
+		rr.Class = c.String()
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl).Milliseconds()
+		if rem < 1 {
+			rem = 1 // let the worker reject it with its own taxonomy
+		}
+		rr.DeadlineMS = rem
+	}
+	body, err := json.Marshal(rr)
 	if err != nil {
 		return ringmesh.Result{}, &dispatchError{worker: w.name, class: "protocol",
 			status: http.StatusInternalServerError, err: err}
@@ -520,8 +536,10 @@ func (co *coordinator) pollJob(ctx context.Context, w *workerClient, id string) 
 			return *view.Result, nil
 		case JobFailed:
 			// The worker's HTTP service is healthy; the job failed with a
-			// classified error. Canceled (worker draining) and timeout are
-			// attempt-scoped and retried elsewhere; config, stall and
+			// classified error. Canceled (worker draining), timeout,
+			// deadline (this worker's remaining budget ran out — another
+			// may be faster) and shed (this worker evicted it under load)
+			// are attempt-scoped and retried elsewhere; config, stall and
 			// runtime (model panic) are deterministic and are not.
 			w.br.success()
 			je := view.Error
@@ -529,9 +547,11 @@ func (co *coordinator) pollJob(ctx context.Context, w *workerClient, id string) 
 				je = &JobError{Status: http.StatusInternalServerError, Kind: "runtime",
 					Message: "job failed with no error document"}
 			}
+			transient := je.Kind == "canceled" || je.Kind == "timeout" ||
+				je.Kind == "deadline" || je.Kind == "shed"
 			return ringmesh.Result{}, &dispatchError{worker: w.name, class: je.Kind,
 				status:    je.Status,
-				transient: je.Kind == "canceled" || je.Kind == "timeout",
+				transient: transient,
 				err:       errors.New(je.Message)}
 		}
 	}

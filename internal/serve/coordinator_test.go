@@ -28,11 +28,11 @@ func newTestCoordinator(addrs ...string) *coordinator {
 
 // stubOK answers every submission synchronously with a done job whose
 // result carries the given latency (so tests can tell workers apart),
-// and answers /healthz with 200.
+// and answers /healthz and /readyz with 200.
 func stubOK(t *testing.T, latency float64) *httptest.Server {
 	t.Helper()
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
 			w.WriteHeader(http.StatusOK)
 			return
 		}
@@ -177,7 +177,7 @@ func TestCoordinatorBreakerEjectsFlappingWorker(t *testing.T) {
 }
 
 // TestCoordinatorProbeReadmitsRecoveredWorker: the health loop probes
-// an ejected worker's /healthz and re-admits it once it answers.
+// an ejected worker's /readyz and re-admits it once it answers.
 func TestCoordinatorProbeReadmitsRecoveredWorker(t *testing.T) {
 	w := stubOK(t, 1) // healthy the whole time; only the breaker thinks otherwise
 	co := newTestCoordinator(w.URL)
@@ -315,7 +315,7 @@ func fleetStub(t *testing.T, fail map[int]*JobError) *httptest.Server {
 	)
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch {
-		case r.URL.Path == "/healthz":
+		case r.URL.Path == "/healthz", r.URL.Path == "/readyz":
 			w.WriteHeader(http.StatusOK)
 		case r.URL.Path == "/v1/runs":
 			var req runRequest
@@ -451,7 +451,7 @@ func TestServerCoordinatedSweepAllPointsFailed(t *testing.T) {
 func TestServerCoordinatedRunCachesLocally(t *testing.T) {
 	var calls atomic.Int64
 	w := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
 			rw.WriteHeader(http.StatusOK)
 			return
 		}

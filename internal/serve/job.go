@@ -13,6 +13,14 @@ import (
 	"ringmesh/internal/obs"
 )
 
+// Job kinds: a single run, a size sweep, or a batch of runs submitted
+// as one prioritized unit.
+const (
+	kindRun   = "run"
+	kindSweep = "sweep"
+	kindBatch = "batch"
+)
+
 // JobState is a job's lifecycle phase.
 type JobState string
 
@@ -46,6 +54,10 @@ type configError struct{ err error }
 func (e *configError) Error() string { return e.err.Error() }
 func (e *configError) Unwrap() error { return e.err }
 
+// errDeadlineExpired marks a job whose client deadline passed while it
+// was still queued: it is failed without ever occupying a worker.
+var errDeadlineExpired = errors.New("serve: deadline expired before execution")
+
 // classify maps a run error onto the job-document error taxonomy.
 func classify(err error) *JobError {
 	if err == nil {
@@ -53,6 +65,7 @@ func classify(err error) *JobError {
 	}
 	je := &JobError{Message: err.Error()}
 	var ce *configError
+	var se *shedError
 	switch {
 	case errors.As(err, &ce):
 		je.Status, je.Kind = http.StatusBadRequest, "config"
@@ -61,6 +74,14 @@ func classify(err error) *JobError {
 		je.Stall = ringmesh.DiagnoseStall(err)
 	case errors.Is(err, ringmesh.ErrTimeout):
 		je.Status, je.Kind = http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, errDeadlineExpired), errors.Is(err, context.DeadlineExceeded):
+		// A client deadline (or the server's JobTimeout) ran out — the
+		// same meaning as an engine wall-clock timeout, surfaced under
+		// its own kind so callers can tell "the run was slow" from "the
+		// budget was short".
+		je.Status, je.Kind = http.StatusGatewayTimeout, "deadline"
+	case errors.As(err, &se):
+		je.Status, je.Kind = http.StatusServiceUnavailable, "shed"
 	case errors.Is(err, context.Canceled):
 		je.Status, je.Kind = http.StatusServiceUnavailable, "canceled"
 	default:
@@ -78,14 +99,44 @@ type PointError struct {
 	Error *JobError `json:"error"`
 }
 
-// job is one accepted unit of work: a single run or a size sweep.
+// batchEntry is one run inside a batch job: a validated config plus
+// its resolved options. The wire shape of POST /v1/batch items and the
+// journaled shape are the same — cache keys are recomputed, never
+// stored.
+type batchEntry struct {
+	Config  ringmesh.Config     `json:"config"`
+	Options ringmesh.RunOptions `json:"options"`
+}
+
+// BatchItem is one entry's outcome in a batch job document: either a
+// result or a classified error, in submission order.
+type BatchItem struct {
+	Index    int              `json:"index"`
+	Topology string           `json:"topology,omitempty"`
+	Cached   bool             `json:"cached,omitempty"`
+	Result   *ringmesh.Result `json:"result,omitempty"`
+	Error    *JobError        `json:"error,omitempty"`
+}
+
+// job is one accepted unit of work: a single run, a size sweep, or a
+// batch of runs.
 type job struct {
 	id    string
-	kind  string // "run" or "sweep"
+	kind  string // kindRun, kindSweep or kindBatch
 	cfg   ringmesh.Config
 	opt   ringmesh.RunOptions
-	key   string // CacheKey (runs only; sweeps key per point)
+	key   string // CacheKey (runs only; sweeps and batches key per point)
 	sizes []int  // sweeps only
+
+	// class is the admission priority; deadline, when set, is the
+	// absolute wall-clock instant after which the client no longer wants
+	// the answer (zero: no deadline). entries holds a batch's runs.
+	class    class
+	deadline time.Time
+	entries  []batchEntry
+	// journaled marks jobs whose accepted record landed in the WAL, so
+	// terminal transitions know whether to journal too.
+	journaled bool
 
 	// Progress. For runs, tick counts engine ticks out of totalTicks
 	// (fed by the engine's per-cycle hook; totalTicks is written by the
@@ -109,6 +160,7 @@ type job struct {
 	result    *ringmesh.Result
 	points    []ringmesh.SweepPoint
 	pointErrs []PointError
+	items     []BatchItem
 	errObj    *JobError
 	done      chan struct{} // closed on completion (done or failed)
 }
@@ -119,6 +171,10 @@ type JobView struct {
 	ID    string   `json:"id"`
 	Kind  string   `json:"kind"`
 	State JobState `json:"state"`
+	// Class is the admission priority class the job was accepted under.
+	Class string `json:"class"`
+	// DeadlineUnixNS is the absolute client deadline, when one was set.
+	DeadlineUnixNS int64 `json:"deadline_unix_ns,omitempty"`
 	// Cached is true when the result was replayed from the cache (or a
 	// coalesced concurrent computation) instead of simulated by this
 	// job.
@@ -132,7 +188,9 @@ type JobView struct {
 	// PointErrors classifies every size that did not.
 	Degraded    bool         `json:"degraded,omitempty"`
 	PointErrors []PointError `json:"point_errors,omitempty"`
-	Error       *JobError    `json:"error,omitempty"`
+	// Items holds a batch job's per-entry outcomes, in submission order.
+	Items []BatchItem `json:"items,omitempty"`
+	Error *JobError   `json:"error,omitempty"`
 }
 
 // newJob builds a queued job with a completion channel and a bounded
@@ -145,8 +203,32 @@ func newJob(id, kind string, traceSpans int) *job {
 	}
 }
 
-// family names the job's topology family for metric labels.
-func (j *job) family() string { return j.cfg.Network }
+// family names the job's topology family for metric labels. A batch
+// may mix families, so it gets its own label value.
+func (j *job) family() string {
+	if j.kind == kindBatch {
+		return "batch"
+	}
+	return j.cfg.Network
+}
+
+// expired reports whether the job's client deadline has passed.
+func (j *job) expired(now time.Time) bool {
+	return !j.deadline.IsZero() && now.After(j.deadline)
+}
+
+// units is the job's work-unit count for admission-time cost
+// estimation: sweep points, batch entries, or one run.
+func (j *job) units() int {
+	switch j.kind {
+	case kindSweep:
+		return max(1, len(j.sizes))
+	case kindBatch:
+		return max(1, len(j.entries))
+	default:
+		return 1
+	}
+}
 
 // progress returns the completed fraction of the job's schedule.
 func (j *job) progress() float64 {
@@ -159,8 +241,14 @@ func (j *job) progress() float64 {
 	case JobQueued:
 		return 0
 	}
-	if j.kind == "sweep" {
+	switch j.kind {
+	case kindSweep:
 		if n := len(j.sizes); n > 0 {
+			return float64(j.pointsDone.Load()) / float64(n)
+		}
+		return 0
+	case kindBatch:
+		if n := len(j.entries); n > 0 {
 			return float64(j.pointsDone.Load()) / float64(n)
 		}
 		return 0
@@ -185,10 +273,14 @@ func (j *job) view() JobView {
 		ID:       j.id,
 		Kind:     j.kind,
 		State:    j.state,
+		Class:    j.class.String(),
 		Cached:   j.cached,
 		Degraded: j.degraded,
 		Progress: p,
 		Error:    j.errObj,
+	}
+	if !j.deadline.IsZero() {
+		v.DeadlineUnixNS = j.deadline.UnixNano()
 	}
 	if j.result != nil {
 		r := *j.result
@@ -199,6 +291,9 @@ func (j *job) view() JobView {
 	}
 	if j.pointErrs != nil {
 		v.PointErrors = append([]PointError(nil), j.pointErrs...)
+	}
+	if j.items != nil {
+		v.Items = append([]BatchItem(nil), j.items...)
 	}
 	return v
 }
@@ -249,6 +344,45 @@ func (j *job) finishSweep(points []ringmesh.SweepPoint, perrs []PointError, cach
 		j.state = JobDone
 		j.points = points
 		j.degraded = len(perrs) > 0
+	}
+	j.cached = cached
+	j.mu.Unlock()
+	close(j.done)
+	return err
+}
+
+// finishBatch records a batch's merged outcome: per-entry items in
+// submission order, some of which may carry classified errors. Like a
+// coordinated sweep, partial failure degrades the response; only a
+// batch with zero successful entries fails wholesale (classified by
+// its first item error).
+func (j *job) finishBatch(items []BatchItem, cached bool) error {
+	succeeded, failed := 0, 0
+	var firstErr *JobError
+	for _, it := range items {
+		if it.Error != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = it.Error
+			}
+		} else {
+			succeeded++
+		}
+	}
+	var err error
+	j.mu.Lock()
+	j.items = items
+	if succeeded == 0 && failed > 0 {
+		j.state = JobFailed
+		j.errObj = &JobError{
+			Status:  firstErr.Status,
+			Kind:    firstErr.Kind,
+			Message: fmt.Sprintf("all %d batch entries failed; first: %s", failed, firstErr.Message),
+		}
+		err = errors.New(j.errObj.Message)
+	} else {
+		j.state = JobDone
+		j.degraded = failed > 0
 	}
 	j.cached = cached
 	j.mu.Unlock()

@@ -37,9 +37,25 @@ type Options struct {
 	// parallel engine is golden-tested bit-identical to serial, which
 	// is also why Workers never enters a job's cache key.
 	EngineWorkers int
-	// QueueDepth bounds pending jobs; submissions past it are rejected
-	// with 503 (default 64).
+	// QueueDepth bounds total pending jobs across all priority classes;
+	// at the bound an arriving job sheds the newest queued job of a
+	// less urgent class, or is shed itself with 503 + Retry-After when
+	// nothing less urgent is queued (default 64).
 	QueueDepth int
+	// ClassDepth bounds each priority class's queue individually, so no
+	// single class can occupy the whole daemon (default: QueueDepth,
+	// i.e. only the shared bound applies).
+	ClassDepth int
+	// ClassWeights sets the deficit-round-robin shares for
+	// interactive, batch and background jobs, in that order (entries
+	// < 1 take the defaults 16/4/1).
+	ClassWeights [3]int
+	// JournalDir, when non-empty, enables the crash-safe job journal:
+	// an fsync'd append-only log of job state transitions, replayed on
+	// startup so accepted-but-unfinished jobs survive kill -9 and
+	// re-enqueue under their original IDs and classes. Empty disables
+	// journaling (accepted jobs die with the process, as before).
+	JournalDir string
 	// CacheEntries bounds the result cache (default 256).
 	CacheEntries int
 	// CacheDir, when non-empty, adds a durable disk tier under the
@@ -79,11 +95,9 @@ type Options struct {
 	TraceSpans int
 }
 
-// Errors the submission path reports; the HTTP layer maps both to 503.
-var (
-	errDraining  = errors.New("serve: draining, not accepting jobs")
-	errQueueFull = errors.New("serve: job queue full")
-)
+// errDraining rejects submissions once Drain has begun; the HTTP
+// layer maps it to 503 (shed rejections carry their own *shedError).
+var errDraining = errors.New("serve: draining, not accepting jobs")
 
 // Server executes simulation jobs from a bounded queue on a fixed
 // worker pool, deduplicating identical work through the
@@ -101,11 +115,17 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	queue chan *job
-	wait  func()
+	// adm is the priority admission layer: per-class bounded queues
+	// drained by a weighted scheduler (replaces the old single FIFO
+	// channel). journal, when non-nil, is the crash-safe WAL of job
+	// state transitions.
+	adm     *admitter
+	journal *jobJournal
+	wait    func()
 
-	submitMu sync.Mutex // guards draining and queue sends vs close
-	draining bool
+	submitMu  sync.Mutex // orders draining checks, journal appends and enqueues
+	draining  bool
+	replaying bool // journal replay in progress: not ready for traffic
 
 	jobsMu   sync.Mutex
 	jobs     map[string]*job
@@ -117,6 +137,12 @@ type Server struct {
 	rateLimited *metrics.Counter
 	completed   *metrics.Counter
 	failed      *metrics.Counter
+
+	// Per-class admission outcomes, indexed by class.
+	admitted    [numClasses]*metrics.Counter
+	shed        [numClasses]*metrics.Counter
+	deadlineRej [numClasses]*metrics.Counter
+	deadlineExp [numClasses]*metrics.Counter
 
 	log *slog.Logger
 
@@ -176,6 +202,11 @@ func New(opt Options) (*Server, error) {
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	var depths, weights [numClasses]int
+	for c := range depths {
+		depths[c] = opt.ClassDepth
+		weights[c] = opt.ClassWeights[c]
+	}
 	s := &Server{
 		opt:     opt,
 		reg:     reg,
@@ -183,7 +214,7 @@ func New(opt Options) (*Server, error) {
 		limit:   newRateLimiter(opt.Rate, opt.Burst),
 		baseCtx: ctx,
 		cancel:  cancel,
-		queue:   make(chan *job, opt.QueueDepth),
+		adm:     newAdmitter(opt.QueueDepth, depths, weights, reg),
 		jobs:    map[string]*job{},
 		log:     opt.Logger,
 		hists:   map[string]*metrics.Histogram{},
@@ -194,8 +225,15 @@ func New(opt Options) (*Server, error) {
 		completed:   reg.Counter("ringmeshd_jobs_completed_total", metrics.Labels{}),
 		failed:      reg.Counter("ringmeshd_jobs_failed_total", metrics.Labels{}),
 	}
+	for c := class(0); c < numClasses; c++ {
+		l := metrics.Labels{Class: c.String()}
+		s.admitted[c] = reg.Counter("ringmeshd_admit_total", l)
+		s.shed[c] = reg.Counter("ringmeshd_shed_total", l)
+		s.deadlineRej[c] = reg.Counter("ringmeshd_deadline_rejected_total", l)
+		s.deadlineExp[c] = reg.Counter("ringmeshd_deadline_expired_total", l)
+	}
 	reg.Gauge("ringmeshd_queue_depth", metrics.Labels{}, func() float64 {
-		return float64(len(s.queue))
+		return float64(s.adm.depth())
 	})
 	// Go runtime health, sampled at scrape time. ReadMemStats is a
 	// stop-the-world call measured in microseconds — fine at scrape
@@ -220,10 +258,85 @@ func New(opt Options) (*Server, error) {
 		// base context dies (drain completion or drain-deadline cancel).
 		go s.coord.probeLoop(s.baseCtx)
 	}
+	// The journal replays before the workers start: unfinished jobs
+	// from before a crash re-enter their class queues under their
+	// original IDs, and only then does execution begin.
+	if opt.JournalDir != "" {
+		journal, err := openJournal(opt.JournalDir, reg, opt.Logger)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = journal
+		if err := s.replayJournal(); err != nil {
+			return nil, err
+		}
+	}
 	// Split the CPU budget: jobWorkers concurrent jobs, each running
 	// EngineWorkers engine goroutines, stay within opt.Workers total.
-	s.wait = pool.Workers(s.jobWorkers(), s.queue, s.execute)
+	var wg sync.WaitGroup
+	for range s.jobWorkers() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j, ok := s.adm.next()
+				if !ok {
+					return
+				}
+				s.execute(j)
+			}
+		}()
+	}
+	s.wait = wg.Wait
 	return s, nil
+}
+
+// replayJournal re-admits every unfinished journaled job, preserving
+// IDs, classes and deadlines, and compacts the log down to what is
+// still live. Records that decode but cannot be rebuilt into a job
+// (e.g. a config the current version rejects) are journaled as failed
+// rather than dropped, so they never resurrect again.
+func (s *Server) replayJournal() error {
+	s.submitMu.Lock()
+	s.replaying = true
+	s.submitMu.Unlock()
+	defer func() {
+		s.submitMu.Lock()
+		s.replaying = false
+		s.submitMu.Unlock()
+	}()
+	unfinished, maxID, err := s.journal.replay()
+	if err != nil {
+		return err
+	}
+	s.jobsMu.Lock()
+	if maxID > s.nextID {
+		s.nextID = maxID
+	}
+	s.jobsMu.Unlock()
+	var live []journalRecord
+	for _, rec := range unfinished {
+		j, jerr := jobFromRecord(rec, s.opt.TraceSpans)
+		if jerr != nil {
+			s.log.Warn("journal record not replayable", "id", rec.ID, "err", jerr)
+			s.journal.append(journalRecord{Op: opFailed, ID: rec.ID})
+			continue
+		}
+		j.journaled = true
+		s.register(j)
+		j.enqueuedAt = time.Now()
+		s.adm.forceEnqueue(j)
+		s.journal.replayed.Inc()
+		live = append(live, rec)
+		s.log.Info("job replayed from journal", "job", j.id,
+			"kind", j.kind, "class", j.class.String())
+	}
+	if err := s.journal.compact(live); err != nil {
+		// Compaction is an optimization; a journal that still holds
+		// already-terminal records replays correctly next time too.
+		s.log.Warn("journal compaction failed", "err", err)
+	}
+	return nil
 }
 
 // jobWorkers is the job-level pool size after the per-job engine
@@ -245,8 +358,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.submitMu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
-		s.log.Info("drain started", "queued", len(s.queue))
+		s.adm.close()
+		s.log.Info("drain started", "queued", s.adm.depth())
 	}
 	s.submitMu.Unlock()
 	done := make(chan struct{})
@@ -259,13 +372,25 @@ func (s *Server) Drain(ctx context.Context) error {
 		// Every job has finished; cancel the base context so background
 		// machinery (the coordinator's health-probe loop) stops too.
 		s.cancel()
+		s.closeJournal()
 		s.log.Info("drain complete")
 		return nil
 	case <-ctx.Done():
 		s.cancel()
 		<-done
+		s.closeJournal()
 		s.log.Warn("drain deadline expired; jobs canceled")
 		return ctx.Err()
+	}
+}
+
+// closeJournal releases the journal's append handle once no worker can
+// write another record.
+func (s *Server) closeJournal() {
+	if s.journal != nil {
+		if err := s.journal.close(); err != nil {
+			s.log.Warn("journal close failed", "err", err)
+		}
 	}
 }
 
@@ -276,28 +401,103 @@ func (s *Server) drainingNow() bool {
 	return s.draining
 }
 
-// enqueue accepts a job into the bounded queue, or reports why not.
-func (s *Server) enqueue(j *job) error {
+// notReady reports whether the server should tell load balancers and
+// coordinators to stop routing: draining or mid-journal-replay.
+func (s *Server) notReady() (reason string, notReady bool) {
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+	switch {
+	case s.draining:
+		return "draining", true
+	case s.replaying:
+		return "replaying", true
+	default:
+		return "", false
+	}
+}
+
+// admit runs the admission pipeline for a registered job: drain check,
+// journal the acceptance (before the queues ever see the job, so a
+// crash can never find a running job the journal has not accepted),
+// then class-queue admission. A shed victim — a queued lower-class job
+// evicted to make room — is failed and journaled here; a rejection of
+// j itself journals a terminal record so the accepted record never
+// resurrects it.
+func (s *Server) admit(j *job) error {
 	s.submitMu.Lock()
 	defer s.submitMu.Unlock()
 	if s.draining {
 		return errDraining
 	}
-	select {
-	case s.queue <- j:
-		return nil
-	default:
-		return errQueueFull
+	if s.journal != nil {
+		s.journal.append(acceptedRecord(j))
+		j.journaled = true
+	}
+	victim, err := s.adm.enqueue(j)
+	if err != nil {
+		if j.journaled {
+			s.journal.append(journalRecord{Op: opFailed, ID: j.id})
+		}
+		var se *shedError
+		if errors.As(err, &se) {
+			s.shed[j.class].Inc()
+		}
+		return err
+	}
+	if victim != nil {
+		s.shed[victim.class].Inc()
+		s.failed.Inc()
+		if victim.journaled {
+			s.journal.append(journalRecord{Op: opFailed, ID: victim.id})
+		}
+		victim.finish(nil, nil, false, &shedError{
+			class:  victim.class,
+			reason: fmt.Sprintf("evicted by %s arrival under full queue", j.class),
+		})
+		s.log.Warn("job shed", "job", victim.id, "class", victim.class.String(),
+			"evicted_by", j.id)
+	}
+	s.admitted[j.class].Inc()
+	return nil
+}
+
+// journalTerminal records a job's final transition and compacts the
+// log when enough terminal records have accumulated.
+func (s *Server) journalTerminal(j *job, failed bool) {
+	if s.journal == nil || !j.journaled {
+		return
+	}
+	op := opDone
+	if failed {
+		op = opFailed
+	}
+	s.journal.append(journalRecord{Op: op, ID: j.id})
+	if s.journal.needsCompaction() {
+		s.jobsMu.Lock()
+		var live []journalRecord
+		for _, id := range s.jobOrder {
+			if lj, ok := s.jobs[id]; ok && lj.journaled && !lj.finished() {
+				live = append(live, acceptedRecord(lj))
+			}
+		}
+		s.jobsMu.Unlock()
+		if err := s.journal.compact(live); err != nil {
+			s.log.Warn("journal compaction failed", "err", err)
+		}
 	}
 }
 
 // register stores a job for polling, dropping the oldest finished
-// documents past the retention bound, and returns its fresh id.
+// documents past the retention bound. A job arriving without an ID
+// gets a fresh one; journal replay pre-assigns the original ID (the
+// counter has already been advanced past every journaled ID).
 func (s *Server) register(j *job) {
 	s.jobsMu.Lock()
 	defer s.jobsMu.Unlock()
-	s.nextID++
-	j.id = fmt.Sprintf("j%06d", s.nextID)
+	if j.id == "" {
+		s.nextID++
+		j.id = fmt.Sprintf("j%06d", s.nextID)
+	}
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j.id)
 	for len(s.jobOrder) > jobRetain {
@@ -349,6 +549,17 @@ func (s *Server) histogram(name string, l metrics.Labels) *metrics.Histogram {
 
 // execute runs one job on a pool worker.
 func (s *Server) execute(j *job) {
+	// A deadline that expired while the job sat in queue terminates it
+	// here, before it occupies the worker for any simulation time.
+	if j.expired(time.Now()) {
+		s.deadlineExp[j.class].Inc()
+		s.failed.Inc()
+		s.journalTerminal(j, true)
+		j.finish(nil, nil, false, errDeadlineExpired)
+		s.log.Warn("job expired in queue", "job", j.id, "kind", j.kind,
+			"class", j.class.String(), "deadline", j.deadline)
+		return
+	}
 	// Reconstruct the queue-wait span: the interval between queue
 	// admission and a worker picking the job up.
 	if !j.enqueuedAt.IsZero() {
@@ -357,20 +568,35 @@ func (s *Server) execute(j *job) {
 		s.histogram("ringmeshd_job_queue_wait_seconds",
 			metrics.Labels{Family: j.family()}).Observe(wait.Seconds())
 		s.log.Info("job started", "job", j.id, "kind", j.kind,
-			"family", j.family(), "queue_wait", wait)
+			"class", j.class.String(), "family", j.family(), "queue_wait", wait)
 	}
 	j.start()
+	if s.journal != nil && j.journaled {
+		s.journal.append(journalRecord{Op: opRunning, ID: j.id})
+	}
+	// The execution context stacks the server's per-job timeout and the
+	// client's absolute deadline; whichever is tighter cancels the run,
+	// and in coordinator mode the remaining budget rides along to the
+	// dispatched worker.
 	ctx := s.baseCtx
 	if s.opt.JobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opt.JobTimeout)
 		defer cancel()
 	}
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
+	}
+	ctx = ctxWithClass(ctx, j.class)
 	runStart := time.Now()
 	var err error
 	switch j.kind {
-	case "sweep":
+	case kindSweep:
 		err = s.executeSweep(ctx, j)
+	case kindBatch:
+		err = s.executeBatch(ctx, j)
 	default:
 		err = s.executeRun(ctx, j)
 	}
@@ -382,6 +608,7 @@ func (s *Server) execute(j *job) {
 	} else {
 		s.completed.Inc()
 	}
+	s.journalTerminal(j, err != nil)
 	j.tr.Record(obs.SpanRecord{
 		Name: "run", Start: runStart, Dur: runDur,
 		Attrs: []obs.Attr{{Key: "outcome", Value: outcome}},
@@ -545,6 +772,65 @@ func (s *Server) executeSweepCoordinated(ctx context.Context, j *job) error {
 			"completed", len(points), "failed", len(perrs))
 	}
 	return j.finishSweep(points, perrs, allCached)
+}
+
+// executeBatch resolves a batch's entries serially through the cache
+// (cross-job parallelism comes from the worker pool, and a batch is by
+// definition bulk work — burning the whole pool on one batch would
+// defeat the admission classes). Entry failures degrade the response
+// with per-item classified errors; cancellation (drain, deadline)
+// fails the job wholesale, like a sweep.
+func (s *Server) executeBatch(ctx context.Context, j *job) error {
+	items := make([]BatchItem, len(j.entries))
+	allCached := len(j.entries) > 0
+	for i, e := range j.entries {
+		items[i].Index = i
+		if err := ctx.Err(); err != nil {
+			err = fmt.Errorf("batch canceled at entry %d: %w", i, err)
+			j.finish(nil, nil, false, err)
+			return err
+		}
+		cfg, opt := e.Config, e.Options
+		key, err := ringmesh.CacheKey(cfg, opt)
+		if err != nil {
+			// Unreachable in practice: every entry was validated at
+			// submission. Classified rather than dropped, defensively.
+			items[i].Error = classify(&configError{err})
+			allCached = false
+			j.pointsDone.Add(1)
+			continue
+		}
+		compute := func() (ringmesh.Result, error) {
+			return s.simulate(ctx, nil, cfg, opt)
+		}
+		if s.coord != nil {
+			compute = func() (ringmesh.Result, error) {
+				res, _, err := s.coord.runPoint(ctx, cfg, opt, j.tr)
+				return res, err
+			}
+		}
+		res, cached, err := s.cache.do(ctx, key, j.tr, compute)
+		switch {
+		case err != nil && ctx.Err() != nil:
+			err = fmt.Errorf("batch canceled at entry %d: %w", i, ctx.Err())
+			j.finish(nil, nil, false, err)
+			return err
+		case err != nil:
+			items[i].Error = classify(err)
+			allCached = false
+			s.log.Warn("batch entry failed", "job", j.id, "entry", i,
+				"kind", items[i].Error.Kind, "err", err)
+		default:
+			items[i].Result = &res
+			items[i].Cached = cached
+			items[i].Topology = resolveTopology(cfg)
+			if !cached {
+				allCached = false
+			}
+		}
+		j.pointsDone.Add(1)
+	}
+	return j.finishBatch(items, allCached)
 }
 
 // simulate builds and runs one system. When j is a single-run job its

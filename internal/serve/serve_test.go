@@ -7,6 +7,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	"ringmesh"
+	"ringmesh/internal/metrics"
 )
 
 // testConfig is a small, fast mesh every e2e test simulates.
@@ -76,11 +79,14 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 type jobDoc struct {
 	ID       string          `json:"id"`
 	Kind     string          `json:"kind"`
+	Class    string          `json:"class"`
 	State    JobState        `json:"state"`
 	Cached   bool            `json:"cached"`
+	Degraded bool            `json:"degraded"`
 	Progress float64         `json:"progress"`
 	Result   json.RawMessage `json:"result"`
 	Points   json.RawMessage `json:"points"`
+	Items    []BatchItem     `json:"items"`
 	Error    *JobError       `json:"error"`
 }
 
@@ -325,17 +331,42 @@ func TestRateLimit(t *testing.T) {
 
 func TestQueueBounds(t *testing.T) {
 	// Constructed directly (no running workers) so the queue state is
-	// deterministic.
-	s := &Server{queue: make(chan *job, 1)}
-	if err := s.enqueue(newJob("a", "run", 8)); err != nil {
-		t.Fatalf("enqueue into empty queue: %v", err)
+	// deterministic. One total slot, background queued first: a batch
+	// arrival evicts it, and a second batch arrival — with nothing less
+	// urgent queued — is shed itself.
+	s := &Server{reg: &metrics.Registry{}, log: slog.New(slog.NewTextHandler(io.Discard, nil))}
+	s.adm = newAdmitter(1, [numClasses]int{}, [numClasses]int{}, s.reg)
+	for c := class(0); c < numClasses; c++ {
+		l := metrics.Labels{Class: c.String()}
+		s.admitted[c] = s.reg.Counter("ringmeshd_admit_total", l)
+		s.shed[c] = s.reg.Counter("ringmeshd_shed_total", l)
 	}
-	if err := s.enqueue(newJob("b", "run", 8)); !errors.Is(err, errQueueFull) {
-		t.Fatalf("enqueue into full queue = %v; want errQueueFull", err)
+	bg := newJob("a", kindRun, 8)
+	bg.class = classBackground
+	if err := s.admit(bg); err != nil {
+		t.Fatalf("admit into empty queue: %v", err)
+	}
+	batch := newJob("b", kindRun, 8)
+	batch.class = classBatch
+	if err := s.admit(batch); err != nil {
+		t.Fatalf("admit at full queue with lower class queued: %v; want eviction", err)
+	}
+	if !bg.finished() {
+		t.Fatal("background victim not finished after eviction")
+	}
+	if bg.view().Error == nil || bg.view().Error.Kind != "shed" {
+		t.Fatalf("victim error = %+v; want kind shed", bg.view().Error)
+	}
+	var se *shedError
+	batch2 := newJob("c", kindRun, 8)
+	batch2.class = classBatch
+	if err := s.admit(batch2); !errors.As(err, &se) {
+		t.Fatalf("admit into full queue = %v; want shedError", err)
 	}
 	s.draining = true
-	if err := s.enqueue(newJob("c", "run", 8)); !errors.Is(err, errDraining) {
-		t.Fatalf("enqueue while draining = %v; want errDraining", err)
+	d := newJob("d", kindRun, 8)
+	if err := s.admit(d); !errors.Is(err, errDraining) {
+		t.Fatalf("admit while draining = %v; want errDraining", err)
 	}
 }
 
@@ -364,14 +395,26 @@ func TestDrainRejectsNewAndFinishesInFlight(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("POST while draining = %d: %s; want 503", resp.StatusCode, raw)
 	}
-	// ...and health reflects it.
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining 503 without Retry-After header")
+	}
+	// ...liveness stays green (the process is fine, it is just not
+	// taking work) while readiness reflects the drain.
 	resp2, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining = %d; want 503", resp2.StatusCode)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d; want 200", resp2.StatusCode)
+	}
+	resp3, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d; want 503", resp3.StatusCode)
 	}
 	// Drain is idempotent.
 	if err := s.Drain(ctx); err != nil {
