@@ -36,11 +36,11 @@ bench-smoke:
 # benchmark is measured even after one regresses, so the report names
 # each offender and its slowdown.
 bench-guard:
-	$(GO) run ./cmd/benchguard -bench BenchmarkEngineStepUniform,BenchmarkEngineStepParallel2
+	$(GO) run ./cmd/benchguard -bench BenchmarkEngineStepUniform,BenchmarkEngineStepParallel2,BenchmarkAnalyticEstimate
 
 # Re-record the hot-loop baselines (after an intentional change).
 bench-baseline:
-	$(GO) run ./cmd/benchguard -update -bench BenchmarkEngineStepUniform,BenchmarkEngineStepParallel1,BenchmarkEngineStepParallel2
+	$(GO) run ./cmd/benchguard -update -bench BenchmarkEngineStepUniform,BenchmarkEngineStepParallel1,BenchmarkEngineStepParallel2,BenchmarkAnalyticEstimate
 
 # CPU- and heap-profile the engine hot loop; inspect the output with
 # `go tool pprof cpu.prof`. For live profiles of the serving daemon,

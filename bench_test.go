@@ -232,3 +232,26 @@ func BenchmarkEngineStepMixed(b *testing.B) {
 		e.Step()
 	}
 }
+
+// BenchmarkAnalyticEstimate measures the closed-form fast path behind
+// multi-fidelity serving: one full estimate — zero-load latency,
+// saturation verdict, error bound — for the paper's 72-PM Table 2
+// hierarchy. The analytic tier's whole value is being orders of
+// magnitude faster than a simulation, so benchguard holds this to its
+// recorded baseline like the engine hot loop.
+func BenchmarkAnalyticEstimate(b *testing.B) {
+	cfg := Config{
+		Network:   "ring",
+		Topology:  "3:3:8",
+		LineBytes: 32,
+		Workload:  PaperWorkload(),
+		Seed:      1,
+		Fidelity:  "analytic",
+	}
+	opt := DefaultRunOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(cfg, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,6 +18,11 @@
 #     merge (completed points + structured point_errors + degraded),
 #     with retries and breaker trips visible on /metrics.
 #
+# Later stages add overload (priority admission + shedding), the
+# crash-safe journal, and multi-fidelity serving (an auto request
+# answered analytically under load, upgraded to exact in the
+# background).
+#
 # No dependencies beyond curl and the Go toolchain.
 set -euo pipefail
 
@@ -343,14 +348,28 @@ case "$vdoc" in
   *) echo "FAIL: evicted background job not failed/shed: $vdoc"; exit 1 ;;
 esac
 
-# One more background submission has nothing to evict: 503 with the
-# full backpressure contract.
+# One more background submission has nothing to evict. Spelled with an
+# explicit "simulate" tier it keeps the hard backpressure contract:
+# 503, Retry-After, structured body — never a silent downgrade.
 shedhdr=$(mktemp); shedbody=$(mktemp)
-code=$(curl -sS -D "$shedhdr" -o "$shedbody" -w '%{http_code}' -X POST "$fbase/v1/runs" -d "$(bgbody 25)")
-[ "$code" = "503" ] || { echo "FAIL: saturated background POST = $code"; cat "$shedbody"; exit 1; }
+simbody='{"config":{"network":"mesh","nodes":16,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":25},"class":"background","fidelity":"simulate","options":{"warmup_cycles":500,"batch_cycles":500,"batches":2}}'
+code=$(curl -sS -D "$shedhdr" -o "$shedbody" -w '%{http_code}' -X POST "$fbase/v1/runs" -d "$simbody")
+[ "$code" = "503" ] || { echo "FAIL: saturated explicit-simulate POST = $code"; cat "$shedbody"; exit 1; }
 grep -qi '^retry-after: [1-9]' "$shedhdr" || { echo "FAIL: shed 503 missing Retry-After:"; cat "$shedhdr"; exit 1; }
 grep -q '"class": *"background"' "$shedbody" || { echo "FAIL: shed body missing class:"; cat "$shedbody"; exit 1; }
 grep -q '"retry_after_ms": *[1-9]' "$shedbody" || { echo "FAIL: shed body missing retry_after_ms:"; cat "$shedbody"; exit 1; }
+
+# The same submission with no named tier degrades instead of 503: an
+# immediate analytic answer, labeled and marked degraded.
+deg=$(curl -fsS -X POST "$fbase/v1/runs" -d "$(bgbody 26)" | tr -d '[:space:]')
+case "$deg" in
+  *'"degraded":true'*) ;;
+  *) echo "FAIL: fidelity-agnostic background run not degraded: $deg"; exit 1 ;;
+esac
+case "$deg" in
+  *'"fidelity":"analytic"'*'"max_rel_err":'*) ;;
+  *) echo "FAIL: degraded answer not analytic with a bound: $deg"; exit 1 ;;
+esac
 
 # Liveness vs readiness: both up, readiness carrying per-class depths.
 curl -fsS "$fbase/healthz" | grep -q '"ok"' || { echo "FAIL: healthz under flood"; exit 1; }
@@ -359,8 +378,13 @@ curl -fsS "$fbase/readyz" | grep -q '"interactive"' || { echo "FAIL: readyz miss
 fmetrics=$(curl -fsS "$fbase/metrics")
 echo "$fmetrics" | grep -q 'ringmeshd_admit_total{class="interactive"} 2' \
   || { echo "FAIL: interactive admit counter:"; echo "$fmetrics" | grep admit; exit 1; }
-echo "$fmetrics" | grep -q 'ringmeshd_shed_total{class="background"} 2' \
+# Four background sheds: the evicted flood job, the explicit-simulate
+# 503, and the degraded run's own failed admit plus its (also shed)
+# upgrade attempt.
+echo "$fmetrics" | grep -q 'ringmeshd_shed_total{class="background"} 4' \
   || { echo "FAIL: background shed counter:"; echo "$fmetrics" | grep shed; exit 1; }
+echo "$fmetrics" | grep -q '^ringmeshd_fidelity_degraded_total 1$' \
+  || { echo "FAIL: degrade counter:"; echo "$fmetrics" | grep fidelity; exit 1; }
 
 # The interactive job completes once the occupier finishes; the two
 # surviving background jobs drain behind it.
@@ -412,4 +436,73 @@ echo "$jmetrics" | grep -q '^ringmeshd_journal_quarantined_total 0$' \
 kill -TERM "$jpid2"; wait "$jpid2" || { echo "FAIL: journal daemon exited dirty"; exit 1; }
 
 echo "PASS: journal smoke (kill -9 with 4 unfinished jobs; restart replayed all under original IDs)"
+
+# ---------------------------------------------------------------------
+# Stage 6: multi-fidelity serving. Flood a single-worker daemon with
+# background jobs, then ask for a cache-cold run at fidelity "auto":
+# the answer must come back immediately — analytic-labeled, carrying
+# its recorded error bound and a background upgrade job ID — while the
+# exact result lands later under its own cache key. The upgrade job
+# must finish with an unlabeled exact result, and the fidelity
+# counters must tell the story on /metrics.
+
+alog=$(mktemp)
+boot "$alog" -workers 1
+apid=$BOOT_PID; abase="http://$BOOT_ADDR"
+
+# Occupy the worker and stack a background flood behind it, so the
+# auto request below cannot possibly be answered by a quick exact run.
+aoid=$(submit_id "$abase" "$occupier")
+[ -n "$aoid" ] || { echo "FAIL: no occupier id on fidelity daemon"; exit 1; }
+for i in 41 42 43; do
+  fid=$(submit_id "$abase" "$(bgbody "$i")")
+  [ -n "$fid" ] || { echo "FAIL: background flood job $i rejected"; exit 1; }
+done
+
+autobody='{"config":{"network":"mesh","nodes":36,"line_bytes":32,"buffer_flits":4,"workload":{"r":1,"c":0.04,"t":4,"read_prob":0.7},"seed":44},"options":{"warmup_cycles":500,"batch_cycles":500,"batches":2},"fidelity":"auto"}'
+auto=$(curl -fsS -X POST "$abase/v1/runs" -d "$autobody" | tr -d '[:space:]')
+case "$auto" in
+  *'"state":"done"'*'"fidelity":"analytic"'*|*'"fidelity":"analytic"'*'"state":"done"'*) ;;
+  *) echo "FAIL: auto request not answered analytically: $auto"; exit 1 ;;
+esac
+case "$auto" in
+  *'"max_rel_err":'*) ;;
+  *) echo "FAIL: analytic answer missing its error bound: $auto"; exit 1 ;;
+esac
+upid=$(printf '%s' "$auto" | sed -n 's/.*"upgrade_job_id":"\([^"]*\)".*/\1/p')
+[ -n "$upid" ] || { echo "FAIL: auto answer missing upgrade job id: $auto"; exit 1; }
+
+# The upgrade runs at the back of the background queue and must land
+# the exact, unlabeled result.
+updoc=$(await "$abase" "$upid")
+case "$updoc" in
+  *'"fidelity":"analytic"'*) echo "FAIL: upgrade result still analytic: $updoc"; exit 1 ;;
+  *'"observations":'*) ;;
+  *) echo "FAIL: upgrade result not a simulation: $updoc"; exit 1 ;;
+esac
+
+# A repeat auto request now prefers the cached exact result: no label,
+# no new upgrade.
+again=$(curl -fsS -X POST "$abase/v1/runs" -d "$autobody" | tr -d '[:space:]')
+case "$again" in
+  *'"cached":true'*) ;;
+  *) echo "FAIL: repeat auto request missed the upgraded result: $again"; exit 1 ;;
+esac
+case "$again" in
+  *'"fidelity":"analytic"'*) echo "FAIL: repeat auto request served the estimate over exact: $again"; exit 1 ;;
+esac
+
+ametrics=$(curl -fsS "$abase/metrics")
+echo "$ametrics" | grep -q 'ringmeshd_fidelity_requests_total{fidelity="auto"} 2' \
+  || { echo "FAIL: auto request counter:"; echo "$ametrics" | grep fidelity; exit 1; }
+echo "$ametrics" | grep -q '^ringmeshd_fidelity_analytic_answers_total 1$' \
+  || { echo "FAIL: analytic answer counter:"; echo "$ametrics" | grep fidelity; exit 1; }
+echo "$ametrics" | grep -q '^ringmeshd_fidelity_upgrades_total 1$' \
+  || { echo "FAIL: upgrade counter:"; echo "$ametrics" | grep fidelity; exit 1; }
+echo "$ametrics" | grep -q 'ringmeshd_fidelity_answer_seconds_bucket{fidelity="analytic",le="+Inf"}' \
+  || { echo "FAIL: no per-fidelity latency histogram:"; echo "$ametrics" | grep fidelity; exit 1; }
+
+kill -TERM "$apid"; wait "$apid" || { echo "FAIL: fidelity daemon exited dirty"; exit 1; }
+
+echo "PASS: fidelity smoke (auto answered analytically under flood; upgrade landed the exact result)"
 echo "PASS: ringmeshd smoke"

@@ -11,12 +11,19 @@
 //	ringmesh -net mesh -topo 8x8 -line 32
 //	ringmesh -net ring -topo 2:4 -fault-plan 'stutter@2000+1000:node=3'
 //	ringmesh -net mesh -topo 8x8 -timeout 30s
+//	ringmesh -net ring -topo 3:3:8 -fidelity analytic
+//
+// -fidelity selects the answer tier: "simulate" (default) runs the
+// exact engine; "analytic" evaluates the closed-form models in
+// microseconds and prints the estimate with its recorded error bound
+// (see internal/fidelity).
 //
 // Exit codes: 0 success, 1 runtime failure, 2 configuration error,
 // 3 stall (watchdog tripped; forensic summary goes to stderr).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +33,7 @@ import (
 
 	"ringmesh/internal/core"
 	"ringmesh/internal/fault"
+	"ringmesh/internal/fidelity"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
 	"ringmesh/internal/sim"
@@ -67,6 +75,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock bound for the run, e.g. 30s (0 = none)")
 		noVC      = flag.Bool("unsafe-no-vc", false, "disable the ring's deadlock-avoidance virtual channels (forensics demos; wormhole ring only)")
 		workersF  = flag.Int("workers", 1, "parallel tick workers (1 = serial engine; results are bit-identical at any count)")
+		fidelityF = flag.String("fidelity", "simulate", `answer tier: "simulate" (exact engine) or "analytic" (closed-form estimate with its recorded error bound)`)
 
 		verbose    = flag.Bool("v", false, "collect the full latency distribution and print a p50/p95/p99 summary line")
 		metricsOn  = flag.Bool("metrics", false, "collect link/queue/stall instruments and print a snapshot after the run")
@@ -95,13 +104,18 @@ func main() {
 		reg = &metrics.Registry{}
 	}
 
+	fid, err := fidelity.Normalize(*fidelityF)
+	if err != nil {
+		fail(exitConfig, fmt.Errorf("-fidelity: %w", err))
+	}
+
 	n := *nodes
 	if *topoStr != "" {
 		// The geometry is fully named; don't cross-check the -nodes
 		// default against it.
 		n = 0
 	}
-	sys, err := core.NewSystem(core.SystemConfig{
+	sysCfg := core.SystemConfig{
 		Network: *netKind,
 		Net: network.Config{
 			Topology:          *topoStr,
@@ -121,7 +135,20 @@ func main() {
 		Metrics:         reg,
 		MetricsInterval: *metricsInt,
 		FaultPlan:       plan,
-	})
+		Fidelity:        fid,
+	}
+
+	if fid != fidelity.Simulate {
+		// Estimator tiers never build the engine, so the instruments
+		// that ride on it have nothing to observe.
+		if *tracePk != 0 || *metricsOn || *metricsOut != "" || *verbose {
+			fail(exitConfig, fmt.Errorf("-fidelity %s is engine-free; -trace-packet, -metrics, -metrics-out and -v need the simulator", fid))
+		}
+		runEstimate(fid, sysCfg, rc, wl)
+		return
+	}
+
+	sys, err := core.NewSystem(sysCfg)
 	if err != nil {
 		fail(exitConfig, err)
 	}
@@ -200,6 +227,44 @@ func main() {
 		fmt.Println("note:         watchdog tripped (no forward progress)")
 		fmt.Fprintln(os.Stderr, "ringmesh:", res.Stall.Summary())
 		os.Exit(exitStall)
+	}
+}
+
+// runEstimate answers the configuration through the fidelity registry
+// instead of the engine and prints the estimate with its recorded
+// validation bound. Estimator refusals (features outside the validated
+// envelope) are configuration errors: rerun without -fidelity for the
+// exact answer.
+func runEstimate(fid string, sysCfg core.SystemConfig, rc core.RunConfig, wl workload.MMRP) {
+	est, err := fidelity.Get(fid)
+	if err != nil {
+		fail(exitConfig, err)
+	}
+	res, err := est.Estimate(context.Background(), sysCfg, rc)
+	if err != nil {
+		fail(exitConfig, err)
+	}
+	// The geometry resolved through the registry, for the header the
+	// engine path gets from sys.Describe().
+	plan, err := network.New(sysCfg.Network, sysCfg.Net)
+	if err != nil {
+		fail(exitConfig, err)
+	}
+	fmt.Printf("system:       %s %s (%d PMs), %s estimate\n",
+		sysCfg.Network, plan.Topology, plan.PMs, fid)
+	fmt.Printf("workload:     R=%.2f C=%.3f T=%d read-prob=%.2f\n", wl.R, wl.C, wl.T, wl.ReadProb)
+	fmt.Printf("latency:      %.1f cycles (closed-form, zero-load)\n", res.Latency)
+	fmt.Printf("throughput:   %.3f transactions/cycle (estimated)\n", res.Throughput)
+	if b, ok := fidelity.BoundFor(sysCfg.Network, sysCfg.Net); ok {
+		fmt.Printf("error bound:  max rel err %.1f%% (%s)\n", 100*b.MaxRelErr, b.Basis)
+	}
+	if res.RingUtil != nil {
+		fmt.Printf("ring util:    global=%.1f%% (bisection bound)\n", 100*res.RingUtil[0])
+	} else {
+		fmt.Printf("mesh util:    %.1f%% (bisection bound)\n", 100*res.MeshUtil)
+	}
+	if res.Saturated {
+		fmt.Println("note:         estimated past saturation (offered load exceeds the bisection bound)")
 	}
 }
 

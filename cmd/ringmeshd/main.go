@@ -22,6 +22,16 @@
 // saturation the lowest class is shed first, with Retry-After and a
 // structured {"error","class","retry_after_ms"} body.
 //
+// Multi-fidelity serving: submissions may carry a fidelity field —
+// "simulate" (default), "analytic" (inline closed-form estimate,
+// labeled with its recorded error bound, never queued), or "auto"
+// (cache hit if available, else an analytic answer plus a background
+// "upgrade to exact" job whose ID rides in the response). Estimates
+// and exact results live under distinct cache keys; under admission
+// pressure, background runs that named no tier degrade to
+// analytic-with-upgrade instead of 503. ringmeshd_fidelity_* counters
+// and per-fidelity latency histograms appear on /metrics.
+//
 // Durability: -cache-dir adds a disk tier under the in-memory result
 // cache (checksummed files, atomic renames), so results survive
 // restarts — even kill -9 — and N replicas can share one mounted

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ringmesh/internal/topo"
+)
+
+func spec(t *testing.T, s string) topo.RingSpec {
+	t.Helper()
+	r, err := topo.ParseRingSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIRICount(t *testing.T) {
+	cases := []struct {
+		spec string
+		want int
+	}{
+		{"8", 0},        // flat ring: no interfaces
+		{"2:4", 2},      // two local rings under the global
+		{"2:3:12", 8},   // 2 level-1 rings + 6 local rings
+		{"3:3:8", 12},   // 3 + 9
+		{"2:2:2:3", 14}, // 2 + 4 + 8
+		{"3:3:3:4", 39}, // 3 + 9 + 27
+	}
+	for _, c := range cases {
+		if got := iriCount(spec(t, c.spec)); got != c.want {
+			t.Errorf("iriCount(%s) = %d; want %d", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestMarkFrontier(t *testing.T) {
+	cands := []candidate{
+		{Spec: spec(t, "3:8"), Analytic: 30, IRIs: 3},      // cheapest: on frontier
+		{Spec: spec(t, "2:3:4"), Analytic: 28, IRIs: 8},    // fastest: on frontier
+		{Spec: spec(t, "3:2:4"), Analytic: 29, IRIs: 9},    // dominated by 2:3:4
+		{Spec: spec(t, "2:2:6"), Analytic: 29.5, IRIs: 6},  // mid tradeoff, on frontier
+		{Spec: spec(t, "2:2:2:3"), Analytic: 31, IRIs: 14}, // dominated by everything
+	}
+	if n := markFrontier(cands); n != 3 {
+		t.Fatalf("frontier size = %d; want 3", n)
+	}
+	want := map[string]bool{"3:8": true, "2:3:4": true, "2:2:6": true}
+	for _, c := range cands {
+		if c.Frontier != want[c.Spec.String()] {
+			t.Errorf("%s frontier = %v; want %v", c.Spec, c.Frontier, want[c.Spec.String()])
+		}
+	}
+}
+
+// TestMarkFrontierTies: identical points must not dominate each other
+// out of existence.
+func TestMarkFrontierTies(t *testing.T) {
+	cands := []candidate{
+		{Spec: spec(t, "2:4"), Analytic: 20, IRIs: 2},
+		{Spec: spec(t, "8"), Analytic: 20, IRIs: 2},
+	}
+	if n := markFrontier(cands); n != 2 {
+		t.Fatalf("tied frontier size = %d; want both kept", n)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	hdr := stateHeader{Nodes: 24, Line: 32, Seed: 1, MaxLevels: 4, MaxBranch: 3}
+	st := stateFile{stateHeader: hdr, Simulated: map[string]simScore{
+		"3:8":   {Latency: 119.2, Saturated: false},
+		"2:3:4": {Latency: 124.2, Saturated: true},
+	}}
+	if err := saveState(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadState(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["3:8"].Latency != 119.2 || !got["2:3:4"].Saturated {
+		t.Fatalf("loadState = %+v; want the saved scores back", got)
+	}
+
+	// A checkpoint from a different search must be refused, field by
+	// field.
+	for _, other := range []stateHeader{
+		{Nodes: 72, Line: 32, Seed: 1, MaxLevels: 4, MaxBranch: 3},
+		{Nodes: 24, Line: 64, Seed: 1, MaxLevels: 4, MaxBranch: 3},
+		{Nodes: 24, Line: 32, Seed: 2, MaxLevels: 4, MaxBranch: 3},
+		{Nodes: 24, Line: 32, Seed: 1, MaxLevels: 3, MaxBranch: 3},
+		{Nodes: 24, Line: 32, Seed: 1, MaxLevels: 4, MaxBranch: 2},
+	} {
+		if _, err := loadState(path, other); err == nil {
+			t.Errorf("loadState accepted mismatched header %+v", other)
+		}
+	}
+}
+
+func TestLoadStateTornFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(path, []byte(`{"nodes": 24, "sim`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadState(path, stateHeader{Nodes: 24}); err == nil {
+		t.Fatal("loadState accepted a torn checkpoint")
+	}
+}
+
+func TestSortCandidatesDeterministic(t *testing.T) {
+	sim := func(l float64) *simScore { return &simScore{Latency: l} }
+	cands := []candidate{
+		{Spec: spec(t, "2:2:6"), Analytic: 31, IRIs: 6},
+		{Spec: spec(t, "2:3:4"), Analytic: 28, IRIs: 8, Sim: sim(124.2)},
+		{Spec: spec(t, "3:2:4"), Analytic: 29, IRIs: 9},
+		{Spec: spec(t, "3:8"), Analytic: 30, IRIs: 3, Sim: sim(119.2)},
+	}
+	sortCandidates(cands)
+	// Simulated candidates first by exact latency, then the rest by
+	// analytic latency.
+	want := []string{"3:8", "2:3:4", "3:2:4", "2:2:6"}
+	for i, w := range want {
+		if got := cands[i].Spec.String(); got != w {
+			t.Fatalf("order[%d] = %s; want %s (full order %v)", i, got, w, cands)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"ringmesh/internal/fault"
+	"ringmesh/internal/fidelity"
 	"ringmesh/internal/network"
 	"ringmesh/internal/node"
 )
@@ -48,6 +49,13 @@ type canonicalRun struct {
 	BatchCycles    int64 `json:"batch_cycles"`
 	Batches        int   `json:"batches"`
 	WatchdogCycles int64 `json:"watchdog_cycles"` // resolved default
+
+	// Fidelity separates analytic estimates from exact results in the
+	// cache: "" (omitted, so simulate keys are byte-identical to
+	// pre-fidelity versions) for the exact engine, "analytic" for the
+	// closed-form backend. The two tiers produce different numbers for
+	// one configuration, so they must never share a key.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // CacheKey returns the canonical content hash of a simulation's
@@ -84,6 +92,12 @@ type canonicalRun struct {
 // are possible (a harmless cache miss) but one key for differing
 // results is not.
 func CacheKey(cfg Config, opt RunOptions) (string, error) {
+	fid, err := fidelity.Normalize(cfg.Fidelity)
+	if err != nil {
+		// "auto" lands here too: it is an admission policy, and keying
+		// it would let one key alias two different answers.
+		return "", err
+	}
 	plan, err := network.New(cfg.Network, network.Config{
 		Topology:          cfg.Topology,
 		Nodes:             cfg.Nodes,
@@ -144,6 +158,22 @@ func CacheKey(cfg Config, opt RunOptions) (string, error) {
 		c.SlottedSwitching = false
 		c.IRIQueueFlits = 0
 		c.UnsafeNoVC = false
+	}
+	// Fidelity joins the key so an analytic estimate can never answer a
+	// request for an exact result (or vice versa). Simulate stays "" —
+	// omitted from the JSON — keeping every pre-fidelity simulate key
+	// byte-identical (pinned by TestCacheKeyStable). The closed-form
+	// backend reads no RNG and runs no schedule, so seed, histogram and
+	// the warmup/batch/watchdog schedule are zeroed for analytic keys:
+	// equivalent analytic requests collapse onto one cache entry.
+	if fid != fidelity.Simulate {
+		c.Fidelity = fid
+		c.Seed = 0
+		c.Histogram = false
+		c.WarmupCycles = 0
+		c.BatchCycles = 0
+		c.Batches = 0
+		c.WatchdogCycles = 0
 	}
 
 	raw, err := json.Marshal(c)

@@ -86,6 +86,9 @@ func TestCacheKeyEquivalentSpellings(t *testing.T) {
 		{"fault plan none vs empty", func(c *Config, _ *RunOptions) {
 			c.FaultPlan = "none"
 		}},
+		{"fidelity empty vs explicit simulate", func(c *Config, _ *RunOptions) {
+			c.Fidelity = "simulate"
+		}},
 		{"mesh ignores ring-only switches", func(c *Config, _ *RunOptions) {
 			c.DoubleSpeedGlobal = true
 			c.SlottedSwitching = true
@@ -154,6 +157,7 @@ func TestCacheKeyDistinguishesSemanticChanges(t *testing.T) {
 		{"batch cycles", func(_ *Config, o *RunOptions) { o.BatchCycles = 2000 }},
 		{"batches", func(_ *Config, o *RunOptions) { o.Batches = 16 }},
 		{"watchdog horizon (changes stall outcome)", func(_ *Config, o *RunOptions) { o.WatchdogCycles = 100 }},
+		{"fidelity analytic", func(c *Config, _ *RunOptions) { c.Fidelity = "analytic" }},
 	}
 	seen := map[string]string{base: "base"}
 	for _, tc := range cases {
@@ -221,5 +225,67 @@ func TestCacheKeyStable(t *testing.T) {
 	const pinned = "dc67a09abefee27b3a3a43a308f87b2d581250cee9a14dfc7a284939d35c3c5a"
 	if a != pinned {
 		t.Fatalf("CacheKey canonical form drifted:\n got %s\nwant %s", a, pinned)
+	}
+
+	// Fidelity joined the canonical form as omitempty: explicit
+	// "simulate" must still produce the exact pre-fidelity key, so no
+	// cached exact result is orphaned by the new field.
+	cfg.Fidelity = "simulate"
+	if got := mustKey(t, cfg, opt); got != pinned {
+		t.Fatalf("explicit simulate fidelity drifted the key:\n got %s\nwant %s", got, pinned)
+	}
+}
+
+// TestCacheKeyFidelity pins the multi-fidelity contract: the two
+// answer tiers never share a key (their numbers differ for one
+// configuration), while simulation-only knobs the analytic backend
+// provably ignores collapse analytic spellings onto one key.
+func TestCacheKeyFidelity(t *testing.T) {
+	cfg, opt := baseMesh()
+	exact := mustKey(t, cfg, opt)
+
+	cfg.Fidelity = "analytic"
+	analytic := mustKey(t, cfg, opt)
+	if analytic == exact {
+		t.Fatalf("analytic and simulate share a key: %s", analytic)
+	}
+
+	// The closed-form backend reads no RNG and runs no schedule, so
+	// seed, histogram and the batch schedule must not split analytic
+	// keys — equivalent estimates answer from one cache entry.
+	for name, mutate := range map[string]func(*Config, *RunOptions){
+		"seed":      func(c *Config, _ *RunOptions) { c.Seed = 99 },
+		"histogram": func(c *Config, _ *RunOptions) { c.Histogram = true },
+		"schedule": func(_ *Config, o *RunOptions) {
+			o.WarmupCycles, o.BatchCycles, o.Batches, o.WatchdogCycles = 1, 2, 3, 4
+		},
+	} {
+		mcfg, mopt := baseMesh()
+		mcfg.Fidelity = "analytic"
+		mutate(&mcfg, &mopt)
+		if got := mustKey(t, mcfg, mopt); got != analytic {
+			t.Errorf("analytic key moved with %s: %s vs %s", name, got, analytic)
+		}
+	}
+
+	// Semantic fields still split analytic keys.
+	mcfg, mopt := baseMesh()
+	mcfg.Fidelity = "analytic"
+	mcfg.LineBytes = 64
+	if got := mustKey(t, mcfg, mopt); got == analytic {
+		t.Error("analytic key ignored LineBytes")
+	}
+
+	// "auto" is an admission policy, not an answer tier: it must be
+	// resolved before keying, never hashed.
+	acfg, aopt := baseMesh()
+	acfg.Fidelity = "auto"
+	if _, err := CacheKey(acfg, aopt); err == nil {
+		t.Fatal("CacheKey minted a key for fidelity \"auto\"")
+	}
+
+	acfg.Fidelity = "nonesuch"
+	if _, err := CacheKey(acfg, aopt); err == nil {
+		t.Fatal("CacheKey minted a key for an unknown fidelity")
 	}
 }

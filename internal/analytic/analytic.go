@@ -125,6 +125,30 @@ func expectedLatency(pms int, pat workload.Pattern, lat func(src, dst int) float
 	return total / float64(count), nil
 }
 
+// RemoteFraction estimates the fraction of issued transactions that
+// leave their source PM under the pattern's target distribution, by
+// the same deterministic dense sampling expectedLatency uses (fixed
+// seed, so the value is reproducible). Local accesses bypass the
+// network entirely, so the offered network load per PM is C times
+// this fraction — the quantity the bisection bounds cap.
+func RemoteFraction(pms int, pat workload.Pattern) float64 {
+	const draws = 2000
+	r := rng.New(0xA11A11A)
+	remote, total := 0, 0
+	for src := 0; src < pms; src++ {
+		for i := 0; i < draws/pms+1; i++ {
+			if pat.Target(src, r) != src {
+				remote++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(remote) / float64(total)
+}
+
 // RingBisectionBound returns the highest sustainable per-PM remote
 // transaction rate (transactions/cycle) imposed by the global ring of
 // a hierarchy: the global ring moves GlobalSpeed flits per cycle per

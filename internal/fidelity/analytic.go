@@ -1,0 +1,137 @@
+package fidelity
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"ringmesh/internal/analytic"
+	"ringmesh/internal/core"
+	"ringmesh/internal/network"
+	"ringmesh/internal/node"
+	"ringmesh/internal/topo"
+	"ringmesh/internal/workload"
+)
+
+// analyticEstimator answers from the closed-form models of
+// internal/analytic: expected zero-load round-trip latency under the
+// M-MRP target distribution, plus a saturation verdict from the
+// bisection-bandwidth bounds. It runs in microseconds (benchmarked by
+// BenchmarkAnalyticEstimate under benchguard) and is validated
+// against the simulator across the golden configs — the recorded
+// per-config error bounds live in bounds.go and results/
+// analytic-bounds.csv, and the harness in fidelity_test.go fails if
+// the backends drift apart at low load.
+type analyticEstimator struct{}
+
+func (analyticEstimator) Name() string { return Analytic }
+
+// Estimate maps the configuration onto the analytic models. It
+// refuses — with ErrUnsupported — anything outside the validated
+// envelope rather than guessing: serving layers fall back to exact
+// simulation on that error, so refusal costs a queue slot, never a
+// wrong labeled answer.
+func (analyticEstimator) Estimate(_ context.Context, cfg core.SystemConfig, _ core.RunConfig) (core.Result, error) {
+	if err := cfg.Workload.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	if err := unsupported(cfg); err != nil {
+		return core.Result{}, err
+	}
+	// Resolve the geometry through the registry so every spelling
+	// (Topology or Nodes) lands on the canonical notation, with the
+	// model's own validation errors.
+	plan, err := network.New(cfg.Network, cfg.Net)
+	if err != nil {
+		return core.Result{}, err
+	}
+	p := analytic.Params{
+		LineBytes:    cfg.Net.LineBytes,
+		MemLatency:   cfg.MemLatency,
+		ReadProb:     cfg.Workload.ReadProb,
+		MeshBufFlits: cfg.Net.BufferFlits,
+	}
+	if p.MemLatency == 0 {
+		p.MemLatency = node.DefaultMemLatency
+	}
+
+	var (
+		lat    float64
+		bound  float64
+		pat    workload.Pattern
+		pms    = plan.PMs
+		maxUtl float64
+	)
+	switch cfg.Network {
+	case "ring":
+		spec, err := topo.ParseRingSpec(plan.Topology)
+		if err != nil {
+			return core.Result{}, err
+		}
+		if lat, err = analytic.RingZeroLoadLatency(spec, p, cfg.Workload); err != nil {
+			return core.Result{}, err
+		}
+		if pat, err = workload.NewRingLocality(pms, cfg.Workload.R); err != nil {
+			return core.Result{}, err
+		}
+		bound = analytic.RingBisectionBound(spec, p, 1)
+	case "mesh":
+		spec, err := topo.ParseMeshSpec(plan.Topology)
+		if err != nil {
+			return core.Result{}, err
+		}
+		if lat, err = analytic.MeshZeroLoadLatency(spec, p, cfg.Workload); err != nil {
+			return core.Result{}, err
+		}
+		if pat, err = workload.NewMeshLocality(spec, cfg.Workload.R); err != nil {
+			return core.Result{}, err
+		}
+		bound = analytic.MeshBisectionBound(spec, p)
+	default:
+		return core.Result{}, fmt.Errorf("%w: no analytic model for network %q", ErrUnsupported, cfg.Network)
+	}
+
+	// Offered remote load per PM versus the bisection bound: past the
+	// bound the network cannot drain what the processors offer, which
+	// is exactly the simulator's Saturated verdict at the knee.
+	offered := cfg.Workload.C * analytic.RemoteFraction(pms, pat)
+	saturated := bound > 0 && offered > bound
+	if bound > 0 {
+		maxUtl = math.Min(1, offered/bound)
+	}
+	res := core.Result{
+		Latency:    lat,
+		Throughput: math.Min(offered, bound) * float64(pms),
+		Saturated:  saturated,
+	}
+	// Report the predicted bottleneck utilization in the family's
+	// utilization slot so tier-labeled answers still carry a load
+	// signal (global ring for hierarchies, aggregate for meshes).
+	if cfg.Network == "ring" {
+		res.RingUtil = []float64{maxUtl}
+	} else {
+		res.MeshUtil = maxUtl
+	}
+	return res, nil
+}
+
+// unsupported rejects configuration features the analytic formulas do
+// not model and the validation harness therefore never certified.
+func unsupported(cfg core.SystemConfig) error {
+	switch {
+	case cfg.Net.SlottedSwitching:
+		return fmt.Errorf("%w: slotted switching", ErrUnsupported)
+	case cfg.Net.DoubleSpeedGlobal:
+		return fmt.Errorf("%w: double-speed global ring", ErrUnsupported)
+	case cfg.Net.UnsafeNoVC:
+		return fmt.Errorf("%w: virtual channels disabled", ErrUnsupported)
+	case cfg.FaultPlan != nil && !cfg.FaultPlan.Empty():
+		return fmt.Errorf("%w: fault plans", ErrUnsupported)
+	case cfg.Workload.OpenLoop:
+		return fmt.Errorf("%w: open-loop workload", ErrUnsupported)
+	case cfg.Workload.Deterministic:
+		return fmt.Errorf("%w: deterministic inter-miss gaps", ErrUnsupported)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,110 @@
+// Package fidelity is the multi-fidelity serving layer's backend
+// registry: every way of turning a system configuration into a
+// Result is an Estimator, keyed by name. Two backends ship built in —
+// "simulate", today's flit-level engine, and "analytic", the
+// closed-form models of internal/analytic promoted to a first-class
+// answer path. The analytic backend answers in microseconds with a
+// recorded error bound (see bounds.go); the simulate backend is
+// exact and pays the engine's cost.
+//
+// The tiering this enables (cache hit → analytic estimate → exact
+// simulation) mirrors the paper's own lineage: Hamacher & Jiang
+// (ICPP'94) compare these networks purely analytically, and design
+// studies triage candidate points with cheap models before simulating
+// the survivors.
+package fidelity
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ringmesh/internal/core"
+)
+
+// Backend names. Auto is a serving-layer routing policy ("cache hit
+// if present, else analytic now plus an exact upgrade job"), resolved
+// at admission — it never reaches the registry and never enters a
+// cache key.
+const (
+	Simulate = "simulate"
+	Analytic = "analytic"
+	Auto     = "auto"
+)
+
+// ErrUnsupported marks a configuration the analytic models do not
+// cover (slotted switching, double-speed global rings, fault plans,
+// open-loop or deterministic workloads, third-party topologies).
+// Serving layers treat it as "fall back to exact", not as a failure.
+var ErrUnsupported = errors.New("fidelity: configuration outside the analytic model's validated envelope")
+
+// Estimator turns a system configuration into a Result at some
+// fidelity. Estimate must be safe for concurrent use.
+type Estimator interface {
+	// Name returns the registry key.
+	Name() string
+	// Estimate produces the backend's Result for the configuration.
+	// The simulate backend honours the full run schedule; the
+	// analytic backend ignores schedule, seed and histogram fields
+	// (which is why CacheKey zeroes them for analytic keys).
+	Estimate(ctx context.Context, cfg core.SystemConfig, rc core.RunConfig) (core.Result, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Estimator{}
+)
+
+// Register adds an estimator under its name, replacing any previous
+// registration (latest wins, like the network registry).
+func Register(e Estimator) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[e.Name()] = e
+}
+
+// Get returns the estimator registered under name.
+func Get(name string) (Estimator, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("fidelity: no estimator %q (have %v)", name, Names())
+	}
+	return e, nil
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	var out []string
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize resolves a fidelity spelling to a registry name: the
+// empty string means simulate (the legacy default, so pre-fidelity
+// configs hash and behave exactly as before). Auto is rejected — it
+// is an admission-time policy, and must be resolved to simulate or
+// analytic before anything is estimated or keyed.
+func Normalize(name string) (string, error) {
+	switch name {
+	case "", Simulate:
+		return Simulate, nil
+	case Analytic:
+		return Analytic, nil
+	case Auto:
+		return "", fmt.Errorf("fidelity: %q is a serving policy, resolve it to %q or %q at admission", Auto, Simulate, Analytic)
+	default:
+		return "", fmt.Errorf("fidelity: unknown fidelity %q (want %q, %q or %q)", name, Simulate, Analytic, Auto)
+	}
+}
+
+func init() {
+	Register(simulateEstimator{})
+	Register(analyticEstimator{})
+}

@@ -1,0 +1,26 @@
+package fidelity
+
+import (
+	"context"
+
+	"ringmesh/internal/core"
+)
+
+// simulateEstimator is the exact backend: it builds and runs the
+// flit-level engine. It exists so callers that already speak the
+// registry (topofind, the validation harness) can switch tiers by
+// name alone.
+type simulateEstimator struct{}
+
+func (simulateEstimator) Name() string { return Simulate }
+
+func (simulateEstimator) Estimate(ctx context.Context, cfg core.SystemConfig, rc core.RunConfig) (core.Result, error) {
+	// The field is advisory by the time it reaches a backend: this IS
+	// the simulate path, and core.NewSystem rejects any other value.
+	cfg.Fidelity = Simulate
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return sys.RunCtx(ctx, rc)
+}

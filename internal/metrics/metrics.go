@@ -61,6 +61,10 @@ type Labels struct {
 	// Outcome is a served job's terminal state ("done", "failed");
 	// a serving-layer dimension, empty on model instruments.
 	Outcome string
+	// Fidelity is the answer tier a served request used ("simulate",
+	// "analytic", "auto"); a serving-layer dimension, empty on model
+	// instruments.
+	Fidelity string
 }
 
 // String renders the labels in {k=v,...} form with a fixed key order,
@@ -78,6 +82,7 @@ func (l Labels) String() string {
 	add("class", l.Class)
 	add("family", l.Family)
 	add("outcome", l.Outcome)
+	add("fidelity", l.Fidelity)
 	if len(parts) == 0 {
 		return ""
 	}
@@ -100,6 +105,7 @@ func (l Labels) promString(extra ...[2]string) string {
 	add("class", l.Class)
 	add("family", l.Family)
 	add("outcome", l.Outcome)
+	add("fidelity", l.Fidelity)
 	for _, kv := range extra {
 		add(kv[0], kv[1])
 	}

@@ -274,13 +274,13 @@ const costMinObs = 8
 // completed runs observed yet) means "no idea" — admit optimistically.
 func (s *Server) estimateCost(family string, units int) (time.Duration, bool) {
 	run := s.histogram("ringmeshd_job_run_seconds",
-		metrics.Labels{Family: family, Outcome: "done"})
+		metrics.Labels{Family: family, Outcome: "done"}, secondsBuckets)
 	if run.Count() < costMinObs {
 		return 0, false
 	}
 	est := float64(units) * run.Quantile(0.95)
 	if wait := s.histogram("ringmeshd_job_queue_wait_seconds",
-		metrics.Labels{Family: family}); wait.Count() > 0 {
+		metrics.Labels{Family: family}, secondsBuckets); wait.Count() > 0 {
 		est += wait.Quantile(0.95)
 	}
 	return time.Duration(est * float64(time.Second)), true
@@ -293,7 +293,7 @@ func (s *Server) estimateCost(family string, units int) (time.Duration, bool) {
 func (s *Server) retryAfter(family string) time.Duration {
 	mean := 0.5 // seconds; placeholder until telemetry accumulates
 	if run := s.histogram("ringmeshd_job_run_seconds",
-		metrics.Labels{Family: family, Outcome: "done"}); run.Count() > 0 {
+		metrics.Labels{Family: family, Outcome: "done"}, secondsBuckets); run.Count() > 0 {
 		mean = run.Sum() / float64(run.Count())
 	}
 	backlog := 1 + s.adm.depth()/s.jobWorkers()

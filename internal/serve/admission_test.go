@@ -219,11 +219,12 @@ func TestFloodInteractiveSurvives(t *testing.T) {
 		t.Fatalf("evicted background job = %s %+v; want failed/shed", evicted.State, evicted.Error)
 	}
 
-	// Another background submission has nothing below it: shed with the
-	// documented backpressure contract.
+	// Another background submission that explicitly demands exact
+	// simulation has nothing below it: shed with the documented
+	// backpressure contract (never silently downgraded).
 	cfg.Seed = 8
 	resp, raw = postJSON(t, ts.URL+"/v1/runs",
-		runRequest{Config: cfg, Options: long, Class: "background"})
+		runRequest{Config: cfg, Options: long, Class: "background", Fidelity: "simulate"})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("background POST at saturation = %d: %s; want 503", resp.StatusCode, raw)
 	}
@@ -236,13 +237,39 @@ func TestFloodInteractiveSurvives(t *testing.T) {
 		t.Fatalf("shed body = %+v; want class=background, retry_after_ms >= 1000", eb)
 	}
 
-	// The per-class counters prove the story on /metrics.
+	// A fidelity-agnostic background submission degrades instead: an
+	// analytic-labeled answer with its error bound, not a 503. The
+	// upgrade job cannot admit under the same pressure, so no ID.
+	cfg.Seed = 9
+	resp, raw = postJSON(t, ts.URL+"/v1/runs",
+		runRequest{Config: cfg, Options: long, Class: "background"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("agnostic background POST at saturation = %d: %s; want degraded 200", resp.StatusCode, raw)
+	}
+	deg := decodeDoc(t, raw)
+	if deg.State != JobDone || !deg.Degraded || deg.Result == nil {
+		t.Fatalf("degraded doc = %+v; want done/degraded with a result", deg)
+	}
+	var dres ringmesh.Result
+	mustUnmarshal(t, deg.Result, &dres)
+	if dres.Fidelity != "analytic" || dres.ErrorBound == nil {
+		t.Fatalf("degraded result fidelity = %q bound = %v; want labeled analytic with a bound",
+			dres.Fidelity, dres.ErrorBound)
+	}
+
+	// The per-class and fidelity counters prove the story on /metrics:
+	// background sheds are the evicted job, the explicit-simulate
+	// rejection, the degraded job's failed admission and its upgrade
+	// attempt; exactly one answer was served at degraded fidelity.
 	mtext := getMetrics(t, ts.URL)
 	for _, want := range []string{
 		`ringmeshd_admit_total{class="interactive"} 2`,
 		`ringmeshd_admit_total{class="background"} 3`,
-		`ringmeshd_shed_total{class="background"} 2`,
+		`ringmeshd_shed_total{class="background"} 4`,
 		`ringmeshd_queue_depth{class="interactive"} 1`,
+		`ringmeshd_fidelity_degraded_total 1`,
+		`ringmeshd_fidelity_analytic_answers_total 1`,
+		`ringmeshd_fidelity_upgrades_total 0`,
 	} {
 		if !strings.Contains(mtext, want) {
 			t.Errorf("metrics missing %q", want)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ringmesh"
+	"ringmesh/internal/fidelity"
 	"ringmesh/internal/obs"
 )
 
@@ -23,6 +24,11 @@ type runRequest struct {
 	Options    *ringmesh.RunOptions `json:"options"`
 	Class      string               `json:"class,omitempty"`
 	DeadlineMS int64                `json:"deadline_ms,omitempty"`
+	// Fidelity selects the answer tier: "simulate" (default), an
+	// inline "analytic" estimate, or the "auto" policy (cache, else
+	// analytic with a background upgrade job). Wins over
+	// config.fidelity when both are set. See fidelity.go.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // sweepRequest is the POST /v1/sweeps body: a base Config measured at
@@ -33,6 +39,9 @@ type sweepRequest struct {
 	Options    *ringmesh.RunOptions `json:"options"`
 	Class      string               `json:"class,omitempty"`
 	DeadlineMS int64                `json:"deadline_ms,omitempty"`
+	// Fidelity selects the answer tier for every point (see
+	// runRequest.Fidelity).
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // batchRunRequest is one entry of a batch submission: a config plus an
@@ -49,6 +58,9 @@ type batchRequest struct {
 	Runs       []batchRunRequest `json:"runs"`
 	Class      string            `json:"class,omitempty"`
 	DeadlineMS int64             `json:"deadline_ms,omitempty"`
+	// Fidelity applies to entries whose config does not set its own
+	// (an entry's config.fidelity wins). See runRequest.Fidelity.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // deadlineHeader optionally carries a relative client deadline as a Go
@@ -252,6 +264,14 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, j *job, what 
 	enqStart := time.Now()
 	j.enqueuedAt = enqStart
 	if err := s.admit(j); err != nil {
+		// A background run the client left fidelity-agnostic can degrade
+		// to an analytic answer (with a best-effort upgrade job) instead
+		// of a 503 when admission sheds it.
+		var se *shedError
+		if errors.As(err, &se) && j.allowDegrade && j.kind == kindRun &&
+			s.degradeRun(w, r, j) {
+			return
+		}
 		s.unregister(j)
 		s.rejected.Inc()
 		s.log.Warn(what+" rejected", "client", clientKey(r), "class", j.class.String(), "err", err)
@@ -286,6 +306,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	mode, explicit, err := s.resolveFidelity(req.Fidelity, &req.Config)
+	if err != nil {
+		s.log.Warn("run rejected", "client", clientKey(r), "err", err)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if mode == fidelity.Analytic {
+		// Explicit analytic runs are answered inline — microseconds of
+		// closed-form evaluation never take a queue slot.
+		s.serveAnalyticRun(w, r, req.Config, opt, cls, deadline)
+		return
+	}
 	key, err := ringmesh.CacheKey(req.Config, opt)
 	if err != nil {
 		// The model's own validation message, verbatim — the same text
@@ -298,6 +330,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	j := newJob("", kindRun, s.opt.TraceSpans)
 	j.cfg, j.opt, j.key = req.Config, opt, key
 	j.class, j.deadline = cls, deadline
+	j.allowDegrade = cls == classBackground && !explicit && mode == fidelity.Simulate
 	j.tr.Record(obs.SpanRecord{
 		Name: "validate", Start: validateStart, Dur: time.Since(validateStart),
 		Attrs: []obs.Attr{{Key: "key", Value: key[:8]}},
@@ -305,7 +338,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	// Submission-time cache probe: a hit completes the job without it
 	// ever touching the queue (or its deadline), so cached replays cost
-	// one map lookup even when the queue is saturated.
+	// one map lookup even when the queue is saturated. Auto requests
+	// take this same path — a cached exact result beats an estimate.
 	if res, ok := s.cache.get(key); ok {
 		j.finish(&res, nil, true, nil)
 		s.register(j)
@@ -314,6 +348,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.log.Info("run served from cache", "job", j.id,
 			"family", j.family(), "client", clientKey(r))
 		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	if mode == fidelity.Auto && s.serveAutoRun(w, r, j) {
 		return
 	}
 	if s.rejectInfeasible(w, j) {
@@ -345,6 +382,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "sizes must name at least one node count")
 		return
 	}
+	mode, _, err := s.resolveFidelity(req.Fidelity, &req.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	// Validate every size up front so a doomed sweep fails at submit
 	// with the model's message, not halfway through the job.
 	for _, n := range req.Sizes {
@@ -364,6 +406,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	j.tr.Record(obs.SpanRecord{
 		Name: "validate", Start: validateStart, Dur: time.Since(validateStart),
 	})
+	if mode == fidelity.Auto && s.serveAutoSweep(w, r, j) {
+		return
+	}
 	if s.rejectInfeasible(w, j) {
 		return
 	}
@@ -389,6 +434,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "runs must hold at least one entry")
 		return
 	}
+	// Per-entry fidelity: the batch-level field applies to entries whose
+	// config does not set its own. Auto is resolved here (the policy
+	// never reaches a cache key); concrete tiers stay in the config,
+	// where cache keys and the executor read them.
+	autoEntry := make([]bool, len(req.Runs))
+	anyAuto := false
 	// Validate every entry up front so a doomed batch fails at submit
 	// with the model's message, not halfway through the job.
 	entries := make([]batchEntry, len(req.Runs))
@@ -401,11 +452,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "invalid options at entry %d: %v", i, err)
 			return
 		}
+		eff := br.Config.Fidelity
+		if eff == "" {
+			eff = req.Fidelity
+		}
+		if eff == fidelity.Auto {
+			autoEntry[i], anyAuto = true, true
+			br.Config.Fidelity = ""
+		} else {
+			br.Config.Fidelity = eff
+		}
 		if _, err := ringmesh.CacheKey(br.Config, opt); err != nil {
 			writeError(w, http.StatusBadRequest, "invalid config at entry %d: %v", i, err)
 			return
 		}
 		entries[i] = batchEntry{Config: br.Config, Options: opt}
+	}
+	if anyAuto {
+		s.fidRequests[fidelity.Auto].Inc()
+	} else if mode, err := fidelity.Normalize(req.Fidelity); err == nil {
+		s.fidRequests[mode].Inc()
 	}
 
 	j := newJob("", kindBatch, s.opt.TraceSpans)
@@ -415,6 +481,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Name: "validate", Start: validateStart, Dur: time.Since(validateStart),
 		Attrs: []obs.Attr{{Key: "entries", Value: fmt.Sprint(len(entries))}},
 	})
+	if anyAuto && s.serveAutoBatch(w, r, j, autoEntry) {
+		return
+	}
 	if s.rejectInfeasible(w, j) {
 		return
 	}

@@ -137,6 +137,11 @@ type job struct {
 	// journaled marks jobs whose accepted record landed in the WAL, so
 	// terminal transitions know whether to journal too.
 	journaled bool
+	// allowDegrade permits answering this run analytically (with a
+	// best-effort upgrade job) if admission would shed it: set only for
+	// background-class runs whose client did not name a fidelity tier,
+	// so an explicit "simulate" request is never silently downgraded.
+	allowDegrade bool
 
 	// Progress. For runs, tick counts engine ticks out of totalTicks
 	// (fed by the engine's per-cycle hook; totalTicks is written by the
@@ -157,6 +162,7 @@ type job struct {
 	state     JobState
 	cached    bool
 	degraded  bool
+	upgradeID string
 	result    *ringmesh.Result
 	points    []ringmesh.SweepPoint
 	pointErrs []PointError
@@ -183,11 +189,15 @@ type JobView struct {
 	Progress float64               `json:"progress"`
 	Result   *ringmesh.Result      `json:"result,omitempty"`
 	Points   []ringmesh.SweepPoint `json:"points,omitempty"`
-	// Degraded marks a coordinated sweep that completed with some
-	// points missing: Points holds every size that succeeded,
-	// PointErrors classifies every size that did not.
+	// Degraded marks a response that is less than what was asked for: a
+	// coordinated sweep that completed with some points missing (Points
+	// holds every size that succeeded, PointErrors classifies the rest),
+	// or a background run answered analytically under shed pressure.
 	Degraded    bool         `json:"degraded,omitempty"`
 	PointErrors []PointError `json:"point_errors,omitempty"`
+	// UpgradeJobID names the background job enqueued to land the exact
+	// result after an analytic-fidelity answer; poll it to upgrade.
+	UpgradeJobID string `json:"upgrade_job_id,omitempty"`
 	// Items holds a batch job's per-entry outcomes, in submission order.
 	Items []BatchItem `json:"items,omitempty"`
 	Error *JobError   `json:"error,omitempty"`
@@ -270,14 +280,15 @@ func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:       j.id,
-		Kind:     j.kind,
-		State:    j.state,
-		Class:    j.class.String(),
-		Cached:   j.cached,
-		Degraded: j.degraded,
-		Progress: p,
-		Error:    j.errObj,
+		ID:           j.id,
+		Kind:         j.kind,
+		State:        j.state,
+		Class:        j.class.String(),
+		Cached:       j.cached,
+		Degraded:     j.degraded,
+		UpgradeJobID: j.upgradeID,
+		Progress:     p,
+		Error:        j.errObj,
 	}
 	if !j.deadline.IsZero() {
 		v.DeadlineUnixNS = j.deadline.UnixNano()
@@ -296,6 +307,21 @@ func (j *job) view() JobView {
 		v.Items = append([]BatchItem(nil), j.items...)
 	}
 	return v
+}
+
+// setUpgrade records the background upgrade job's ID for the document.
+func (j *job) setUpgrade(id string) {
+	j.mu.Lock()
+	j.upgradeID = id
+	j.mu.Unlock()
+}
+
+// markDegraded flags the document as answered below the requested
+// fidelity (shed-pressure analytic degrade).
+func (j *job) markDegraded() {
+	j.mu.Lock()
+	j.degraded = true
+	j.mu.Unlock()
 }
 
 // start transitions queued -> running.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ringmesh"
+	"ringmesh/internal/fidelity"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
 	"ringmesh/internal/obs"
@@ -144,6 +145,15 @@ type Server struct {
 	deadlineRej [numClasses]*metrics.Counter
 	deadlineExp [numClasses]*metrics.Counter
 
+	// Multi-fidelity serving counters: requests by requested mode,
+	// inline analytic answers, enqueued upgrade jobs, shed-pressure
+	// degrades, and auto→exact fallbacks (see fidelity.go).
+	fidRequests        map[string]*metrics.Counter
+	fidAnalyticAnswers *metrics.Counter
+	fidUpgrades        *metrics.Counter
+	fidDegraded        *metrics.Counter
+	fidFallback        *metrics.Counter
+
 	log *slog.Logger
 
 	// histMu guards lazy registration of label-fanned histograms
@@ -232,6 +242,14 @@ func New(opt Options) (*Server, error) {
 		s.deadlineRej[c] = reg.Counter("ringmeshd_deadline_rejected_total", l)
 		s.deadlineExp[c] = reg.Counter("ringmeshd_deadline_expired_total", l)
 	}
+	s.fidRequests = map[string]*metrics.Counter{}
+	for _, f := range []string{fidelity.Simulate, fidelity.Analytic, fidelity.Auto} {
+		s.fidRequests[f] = reg.Counter("ringmeshd_fidelity_requests_total", metrics.Labels{Fidelity: f})
+	}
+	s.fidAnalyticAnswers = reg.Counter("ringmeshd_fidelity_analytic_answers_total", metrics.Labels{})
+	s.fidUpgrades = reg.Counter("ringmeshd_fidelity_upgrades_total", metrics.Labels{})
+	s.fidDegraded = reg.Counter("ringmeshd_fidelity_degraded_total", metrics.Labels{})
+	s.fidFallback = reg.Counter("ringmeshd_fidelity_fallback_total", metrics.Labels{})
 	reg.Gauge("ringmeshd_queue_depth", metrics.Labels{}, func() float64 {
 		return float64(s.adm.depth())
 	})
@@ -535,14 +553,14 @@ func (s *Server) lookup(id string) (*job, bool) {
 // registering it on first use. The registry panics on duplicate
 // registration, so every dynamically-labeled series goes through this
 // lookup-or-register layer.
-func (s *Server) histogram(name string, l metrics.Labels) *metrics.Histogram {
+func (s *Server) histogram(name string, l metrics.Labels, buckets []float64) *metrics.Histogram {
 	key := name + l.String()
 	s.histMu.Lock()
 	defer s.histMu.Unlock()
 	if h, ok := s.hists[key]; ok {
 		return h
 	}
-	h := s.reg.Histogram(name, l, secondsBuckets)
+	h := s.reg.Histogram(name, l, buckets)
 	s.hists[key] = h
 	return h
 }
@@ -566,7 +584,7 @@ func (s *Server) execute(j *job) {
 		wait := time.Since(j.enqueuedAt)
 		j.tr.Record(obs.SpanRecord{Name: "queue-wait", Start: j.enqueuedAt, Dur: wait})
 		s.histogram("ringmeshd_job_queue_wait_seconds",
-			metrics.Labels{Family: j.family()}).Observe(wait.Seconds())
+			metrics.Labels{Family: j.family()}, secondsBuckets).Observe(wait.Seconds())
 		s.log.Info("job started", "job", j.id, "kind", j.kind,
 			"class", j.class.String(), "family", j.family(), "queue_wait", wait)
 	}
@@ -614,7 +632,11 @@ func (s *Server) execute(j *job) {
 		Attrs: []obs.Attr{{Key: "outcome", Value: outcome}},
 	})
 	s.histogram("ringmeshd_job_run_seconds",
-		metrics.Labels{Family: j.family(), Outcome: outcome}).Observe(runDur.Seconds())
+		metrics.Labels{Family: j.family(), Outcome: outcome}, secondsBuckets).Observe(runDur.Seconds())
+	if err == nil {
+		s.histogram("ringmeshd_fidelity_answer_seconds",
+			metrics.Labels{Fidelity: jobFidelity(j)}, fidelityBuckets).Observe(runDur.Seconds())
+	}
 	if err != nil {
 		s.log.Warn("job failed", "job", j.id, "kind", j.kind,
 			"family", j.family(), "outcome", outcome, "dur", runDur, "err", err)
@@ -837,6 +859,20 @@ func (s *Server) executeBatch(ctx context.Context, j *job) error {
 // progress atomics are wired to the engine's per-cycle hook so
 // watchers see live completion fractions.
 func (s *Server) simulate(ctx context.Context, j *job, cfg ringmesh.Config, opt ringmesh.RunOptions) (ringmesh.Result, error) {
+	// Analytic-fidelity work routes to the closed-form estimator: no
+	// system is built, no ticks run, and the result comes back labeled
+	// with its recorded error bound. Estimator refusals (unsupported
+	// features) are configuration errors — the client asked for a tier
+	// that cannot answer this config.
+	if fid, err := fidelity.Normalize(cfg.Fidelity); err != nil {
+		return ringmesh.Result{}, &configError{err}
+	} else if fid == fidelity.Analytic {
+		res, err := ringmesh.Estimate(cfg, opt)
+		if err != nil {
+			return ringmesh.Result{}, &configError{err}
+		}
+		return res, nil
+	}
 	// The server owns the machine split, not the client: a request's
 	// own workers value is capped at the per-job budget (and an unset
 	// one takes the full budget). Sound to override freely — Workers is

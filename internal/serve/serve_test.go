@@ -83,6 +83,7 @@ type jobDoc struct {
 	State    JobState        `json:"state"`
 	Cached   bool            `json:"cached"`
 	Degraded bool            `json:"degraded"`
+	Upgrade  string          `json:"upgrade_job_id"`
 	Progress float64         `json:"progress"`
 	Result   json.RawMessage `json:"result"`
 	Points   json.RawMessage `json:"points"`

@@ -44,6 +44,7 @@ import (
 
 	"ringmesh/internal/core"
 	"ringmesh/internal/fault"
+	"ringmesh/internal/fidelity"
 	"ringmesh/internal/metrics"
 	"ringmesh/internal/network"
 	"ringmesh/internal/obs"
@@ -181,6 +182,16 @@ type Config struct {
 	// bit-identical with it on or off, and it never enters result
 	// cache keys (see CacheKey). Ignored on the serial path.
 	PhaseStats bool `json:"phase_stats,omitempty"`
+	// Fidelity selects the answer tier: "" or "simulate" runs the
+	// exact flit-level engine (the default, byte-identical cache keys
+	// with pre-fidelity versions), "analytic" answers from the
+	// closed-form models of internal/analytic in microseconds with a
+	// recorded error bound (see Estimate and Result.ErrorBound).
+	// Fidelity joins the cache key, so analytic and exact results can
+	// never collide. The serving daemon additionally accepts "auto"
+	// (cache hit → analytic now → exact upgrade job), resolved at
+	// admission; "auto" is invalid here and in CacheKey.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // RingConfig describes a hierarchical-ring system.
@@ -369,6 +380,27 @@ type Result struct {
 	// Stall carries the model's forensic snapshot when Stalled is set
 	// and the model can diagnose itself; nil otherwise.
 	Stall *StallDiagnosis `json:"stall,omitempty"`
+	// Fidelity labels non-exact answers with the backend that produced
+	// them ("analytic"); empty for exact simulation results, so
+	// pre-fidelity result documents are byte-identical.
+	Fidelity string `json:"fidelity,omitempty"`
+	// ErrorBound carries the recorded validation envelope when
+	// Fidelity is "analytic" and the configuration's family has one;
+	// nil on exact results.
+	ErrorBound *ErrorBound `json:"error_bound,omitempty"`
+}
+
+// ErrorBound is the recorded analytic-vs-simulate validation envelope
+// attached to analytic-fidelity results: the worst relative latency
+// error observed (plus margin) when both backends ran the golden
+// configs at low load. See internal/fidelity and
+// results/analytic-bounds.csv.
+type ErrorBound struct {
+	// MaxRelErr is the admitted relative latency error at low load
+	// (0.03 = within 3% of the simulator).
+	MaxRelErr float64 `json:"max_rel_err"`
+	// Basis states what the bound was recorded against.
+	Basis string `json:"basis"`
 }
 
 // StallDiagnosis is the structured snapshot a model builds when the
@@ -501,8 +533,15 @@ func recorderFor(on bool, only uint64) *trace.Recorder {
 }
 
 // NewSystem builds a multiprocessor over the interconnect named by
-// cfg.Network, resolved through the topology registry.
+// cfg.Network, resolved through the topology registry. Only exact
+// (simulate-fidelity) systems can be built and stepped; analytic
+// configurations are answered by Estimate or Run instead.
 func NewSystem(cfg Config) (*System, error) {
+	if name, err := fidelity.Normalize(cfg.Fidelity); err != nil {
+		return nil, err
+	} else if name != fidelity.Simulate {
+		return nil, fmt.Errorf("ringmesh: fidelity %q cannot build a steppable system; use Run or Estimate", cfg.Fidelity)
+	}
 	rec := recorderFor(cfg.Trace, cfg.TraceOnlyPacket)
 	var reg *metrics.Registry
 	interval := cfg.MetricsIntervalCycles
@@ -695,14 +734,86 @@ func (s *System) Describe() string { return s.inner.Describe() }
 func (s *System) Topology() string { return s.inner.Topology() }
 
 // Run builds and measures a system over any registered interconnect
-// in one call.
+// in one call, routed by Config.Fidelity: exact simulation by
+// default, the analytic estimator (see Estimate) when the config asks
+// for it.
 func Run(cfg Config, opt RunOptions) (Result, error) {
+	name, err := fidelity.Normalize(cfg.Fidelity)
+	if err != nil {
+		return Result{}, err
+	}
+	if name != fidelity.Simulate {
+		return Estimate(cfg, opt)
+	}
 	sys, err := NewSystem(cfg)
 	if err != nil {
 		return Result{}, err
 	}
 	return sys.Run(opt)
 }
+
+// Estimate answers the configuration through the fidelity registry
+// without building the engine: Config.Fidelity selects the backend
+// ("" or "simulate" runs the exact engine; "analytic" evaluates the
+// closed-form models in microseconds). Analytic results are labeled
+// (Result.Fidelity) and carry the recorded validation envelope
+// (Result.ErrorBound) when their network family has one. Analytic
+// estimation fails for configurations outside the validated envelope
+// — slotted switching, double-speed global rings, fault plans,
+// open-loop or deterministic workloads — rather than returning an
+// unlabeled guess; callers fall back to exact simulation.
+func Estimate(cfg Config, opt RunOptions) (Result, error) {
+	name, err := fidelity.Normalize(cfg.Fidelity)
+	if err != nil {
+		return Result{}, err
+	}
+	est, err := fidelity.Get(name)
+	if err != nil {
+		return Result{}, err
+	}
+	netCfg := network.Config{
+		Topology:          cfg.Topology,
+		Nodes:             cfg.Nodes,
+		LineBytes:         cfg.LineBytes,
+		BufferFlits:       cfg.BufferFlits,
+		DoubleSpeedGlobal: cfg.DoubleSpeedGlobal,
+		SlottedSwitching:  cfg.SlottedSwitching,
+		UnsafeNoVC:        cfg.UnsafeNoVC,
+	}
+	var plan *fault.Plan
+	if cfg.FaultPlan != "" {
+		if plan, err = fault.Parse(cfg.FaultPlan); err != nil {
+			return Result{}, err
+		}
+	}
+	r, err := est.Estimate(context.Background(), core.SystemConfig{
+		Network:    cfg.Network,
+		Net:        netCfg,
+		Workload:   cfg.Workload.internal(),
+		MemLatency: cfg.MemLatencyCycles,
+		Seed:       cfg.Seed,
+		Histogram:  cfg.Histogram,
+		FaultPlan:  plan,
+		Workers:    cfg.Workers,
+		Fidelity:   name,
+	}, opt.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	res := fromCore(r)
+	if name != fidelity.Simulate {
+		res.Fidelity = name
+		if b, ok := fidelity.BoundFor(cfg.Network, netCfg); ok {
+			res.ErrorBound = &ErrorBound{MaxRelErr: b.MaxRelErr, Basis: b.Basis}
+		}
+	}
+	return res, nil
+}
+
+// Fidelities returns the registered estimator backend names, sorted;
+// valid values for Config.Fidelity (the serving daemon additionally
+// accepts "auto").
+func Fidelities() []string { return fidelity.Names() }
 
 // RunRing builds and measures a hierarchical-ring system in one call.
 //
